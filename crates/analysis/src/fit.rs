@@ -1,0 +1,92 @@
+//! Least-squares linear fitting.
+
+/// A linear fit `y = slope * x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fit {
+    /// Slope.
+    pub slope: f64,
+    /// Y-intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+/// Least-squares fit of `ys` against `xs`.
+///
+/// # Panics
+///
+/// Panics if the inputs differ in length or contain fewer than two
+/// points, or if all `xs` are identical (vertical line).
+pub fn linfit(xs: &[f64], ys: &[f64]) -> Fit {
+    assert_eq!(xs.len(), ys.len(), "mismatched inputs");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    assert!(sxx > 0.0, "all x values identical");
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (slope * x + intercept);
+            e * e
+        })
+        .sum();
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Fit {
+        slope,
+        intercept,
+        r2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x + 7.0).collect();
+        let f = linfit(&xs, &ys);
+        assert!((f.slope - 2.5).abs() < 1e-12);
+        assert!((f.intercept - 7.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_fits_reasonably() {
+        let xs: Vec<f64> = (0..20).map(f64::from).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 3.0 * x + 1.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let f = linfit(&xs, &ys);
+        assert!((f.slope - 3.0).abs() < 0.02, "{f:?}");
+        assert!(f.r2 > 0.99);
+    }
+
+    #[test]
+    fn horizontal_line() {
+        let f = linfit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 5.0);
+        assert_eq!(f.r2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "all x values identical")]
+    fn vertical_line_rejected() {
+        let _ = linfit(&[2.0, 2.0], &[1.0, 3.0]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Plain-text rendering of tables and figure series.
+
+/// Renders a fixed-width table with a header row.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<w$}", c, w = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders figure data as columns: x plus one column per series.
+pub fn render_series(title: &str, xlabel: &str, series: &[(String, Vec<(f64, f64)>)]) -> String {
+    let mut out = format!("# {title}\n");
+    let mut headers: Vec<&str> = vec![xlabel];
+    for (label, _) in series {
+        headers.push(label);
+    }
+    let xs: Vec<f64> = series
+        .first()
+        .map(|(_, pts)| pts.iter().map(|p| p.0).collect())
+        .unwrap_or_default();
+    let rows: Vec<Vec<String>> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let mut row = vec![format!("{x:.0}")];
+            for (_, pts) in series {
+                row.push(
+                    pts.get(i)
+                        .map(|p| format!("{:.1}", p.1))
+                        .unwrap_or_default(),
+                );
+            }
+            row
+        })
+        .collect();
+    out.push_str(&render_table(&headers, &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer-name".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer-name"));
+        // The value column lines up.
+        let col = lines[2].find('1').unwrap();
+        assert_eq!(lines[3].find('2').unwrap(), col);
+    }
+
+    #[test]
+    fn series_renders_all_columns() {
+        let s = render_series(
+            "Figure X",
+            "bytes",
+            &[
+                ("copy".into(), vec![(4096.0, 500.0), (8192.0, 900.0)]),
+                (
+                    "emulated copy".into(),
+                    vec![(4096.0, 400.0), (8192.0, 650.0)],
+                ),
+            ],
+        );
+        assert!(s.contains("# Figure X"));
+        assert!(s.contains("copy"));
+        assert!(s.contains("4096"));
+        assert!(s.contains("650.0"));
+    }
+}

@@ -1,0 +1,185 @@
+//! The cross-platform scaling model (paper Section 8, Table 8) and
+//! the OC-12 extrapolation.
+
+use genie::Semantics;
+use genie_machine::{CostModel, LinkSpec, MachineSpec, Op, OpKind};
+
+use crate::breakdown::{estimate_latency_us, BufferingScheme};
+use crate::table6::OpFit;
+
+/// Parameter classes of the scaling model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamClass {
+    /// Multiplicative factor of the base latency: network-dominated.
+    Network,
+    /// Copyout-style costs: main-memory-bandwidth-dominated.
+    Memory,
+    /// Copyin-style costs: cache-bandwidth-dominated.
+    Cache,
+    /// Everything else: CPU-dominated (multiplicative factors).
+    CpuMult,
+    /// CPU-dominated fixed terms.
+    CpuFixed,
+}
+
+impl ParamClass {
+    /// Display label matching Table 8.
+    pub fn label(self) -> &'static str {
+        match self {
+            ParamClass::Network => "Network-dominated",
+            ParamClass::Memory => "Memory-dominated",
+            ParamClass::Cache => "Cache-dominated",
+            ParamClass::CpuMult => "CPU-dominated mult. factor",
+            ParamClass::CpuFixed => "CPU-dominated fixed term",
+        }
+    }
+}
+
+/// Summary of a class's cost ratios on a platform relative to the
+/// base platform (Table 8: GM / Min / Max, plus the model's estimate).
+#[derive(Clone, Copy, Debug)]
+pub struct RatioSummary {
+    /// The parameter class.
+    pub class: ParamClass,
+    /// Model-estimated ratio (a lower bound for CPU-dominated classes,
+    /// since the other machines' ratings were upper bounds).
+    pub estimated: f64,
+    /// Geometric mean of observed ratios.
+    pub gm: f64,
+    /// Minimum observed ratio.
+    pub min: f64,
+    /// Maximum observed ratio.
+    pub max: f64,
+    /// Number of parameters in the class.
+    pub count: usize,
+}
+
+fn summarize(class: ParamClass, estimated: f64, ratios: &[f64]) -> Option<RatioSummary> {
+    if ratios.is_empty() {
+        return None;
+    }
+    let gm = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Some(RatioSummary {
+        class,
+        estimated,
+        gm,
+        min,
+        max,
+        count: ratios.len(),
+    })
+}
+
+/// Computes Table 8 for `other` relative to `base`, from the two
+/// platforms' measured primitive-cost fits.
+pub fn param_ratios(
+    base_machine: &MachineSpec,
+    other_machine: &MachineSpec,
+    base: &[OpFit],
+    other: &[OpFit],
+) -> Vec<RatioSummary> {
+    let find = |fits: &[OpFit], op: Op| fits.iter().find(|f| f.op == op).map(|f| f.fit);
+    let mut memory = Vec::new();
+    let mut cache = Vec::new();
+    let mut cpu_mult = Vec::new();
+    let mut cpu_fixed = Vec::new();
+
+    for f in base {
+        let Some(of) = find(other, f.op) else {
+            continue;
+        };
+        match f.op.kind() {
+            OpKind::Memory => {
+                if f.fit.slope > 1e-6 {
+                    memory.push(of.slope / f.fit.slope);
+                }
+            }
+            OpKind::Cache => {
+                if f.fit.slope > 1e-6 {
+                    cache.push(of.slope / f.fit.slope);
+                }
+            }
+            OpKind::Cpu | OpKind::CpuPte => {
+                if f.fit.slope > 1e-6 {
+                    cpu_mult.push(of.slope / f.fit.slope);
+                }
+                if f.fit.intercept > 0.5 {
+                    cpu_fixed.push(of.intercept / f.fit.intercept);
+                }
+            }
+            OpKind::Device => {}
+        }
+    }
+
+    let est_mem = base_machine.mem_bw_mbps / other_machine.mem_bw_mbps;
+    let est_cache = base_machine.l2_bw_mbps / other_machine.l2_bw_mbps;
+    // The model's lower bound: rated SPECint ratio (the other machine's
+    // rating is an upper bound on its speed).
+    let est_cpu = base_machine.specint95 / other_machine.specint95;
+
+    [
+        summarize(ParamClass::Memory, est_mem, &memory),
+        summarize(ParamClass::Cache, est_cache, &cache),
+        summarize(ParamClass::CpuMult, est_cpu, &cpu_mult),
+        summarize(ParamClass::CpuFixed, est_cpu, &cpu_fixed),
+    ]
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Predicted single-datagram (60 KB) throughput in Mbit/s at OC-12 on
+/// a platform, per semantics, with early demultiplexing (the paper's
+/// Section 8 extrapolation: ~140 copy / ~404 emulated copy /
+/// ~463 emulated share / ~380 move on the P166).
+pub fn predict_oc12_throughput(machine: MachineSpec, semantics: Semantics) -> f64 {
+    let model = CostModel::new(machine);
+    let link = LinkSpec::oc12();
+    let bytes = 61_440usize;
+    let us = estimate_latency_us(&model, &link, semantics, BufferingScheme::EarlyDemux, bytes);
+    bytes as f64 * 8.0 / us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oc12_extrapolation_matches_paper() {
+        // Paper Section 8 predictions for the Micron P166.
+        let cases = [
+            (Semantics::Copy, 140.0),
+            (Semantics::EmulatedCopy, 404.0),
+            (Semantics::EmulatedShare, 463.0),
+            (Semantics::Move, 380.0),
+        ];
+        for (sem, want) in cases {
+            let got = predict_oc12_throughput(MachineSpec::micron_p166(), sem);
+            let err = (got - want).abs() / want;
+            assert!(
+                err < 0.10,
+                "{sem}: predicted {got:.0} Mbps vs paper {want} ({:.0}% off)",
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn oc12_keeps_figure3_ordering_with_wider_gap() {
+        let copy = predict_oc12_throughput(MachineSpec::micron_p166(), Semantics::Copy);
+        let emu = predict_oc12_throughput(MachineSpec::micron_p166(), Semantics::EmulatedCopy);
+        // "almost three times better performance than copy".
+        let ratio = emu / copy;
+        assert!((2.5..3.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn summarize_handles_empty() {
+        assert!(summarize(ParamClass::Memory, 1.0, &[]).is_none());
+        let s = summarize(ParamClass::Memory, 2.4, &[2.0, 3.0]).unwrap();
+        assert!((s.gm - (6.0f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 3.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Micro-benches of the substrate itself: how fast the simulator's
+//! data structures run on the host machine (distinct from the
+//! *simulated* costs, which are the paper's subject).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use genie_machine::SimTime;
+use genie_mem::{IoDir, PhysMem};
+use genie_net::{aal5, checksum16, EventQueue};
+use genie_vm::{Access, RegionMark, Vm};
+
+fn frame_allocator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/frame_allocator");
+    g.bench_function("alloc_dealloc_cycle", |b| {
+        let mut m = PhysMem::new(4096, 256);
+        b.iter(|| {
+            let f = m.alloc(None).expect("alloc");
+            m.dealloc(f).expect("dealloc");
+        })
+    });
+    g.bench_function("ref_unref", |b| {
+        let mut m = PhysMem::new(4096, 4);
+        let f = m.alloc(None).expect("alloc");
+        b.iter(|| {
+            m.ref_io(f, IoDir::Output).expect("ref");
+            m.unref_io(f, IoDir::Output).expect("unref");
+        })
+    });
+    g.finish();
+}
+
+fn vm_faults(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/vm");
+    g.bench_function("zero_fill_fault", |b| {
+        b.iter_batched(
+            || {
+                let mut v = Vm::new(PhysMem::new(4096, 64));
+                let s = v.create_space();
+                let h = v.alloc_region(s, 8, RegionMark::Unmovable).expect("region");
+                (v, s, h.start_vpn)
+            },
+            |(mut v, s, vpn)| {
+                for i in 0..8 {
+                    v.handle_fault(s, vpn + i, Access::Write).expect("fault");
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("tcow_write_fault", |b| {
+        b.iter_batched(
+            || {
+                let mut v = Vm::new(PhysMem::new(4096, 64));
+                let s = v.create_space();
+                let va = v.alloc_app_buffer(s, 4096).expect("buffer");
+                v.write_app(s, va, b"x").expect("touch");
+                let (d, _) = v
+                    .reference_pages(s, va, 4096, IoDir::Output)
+                    .expect("reference");
+                v.write_protect(s, va, 4096);
+                (v, s, va, d)
+            },
+            |(mut v, s, va, _d)| {
+                v.write_app(s, va, b"y").expect("tcow");
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn aal5_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/aal5");
+    let payload = vec![0xa5u8; 61_440];
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("segment_60k", |b| b.iter(|| aal5::segment(1, &payload)));
+    let cells = aal5::segment(1, &payload);
+    g.bench_function("reassemble_60k", |b| {
+        b.iter(|| aal5::reassemble(&cells).expect("reassemble"))
+    });
+    g.bench_function("checksum16_60k", |b| b.iter(|| checksum16(&payload)));
+    g.finish();
+}
+
+fn event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/event_queue");
+    g.bench_function("push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1024u64 {
+                q.push(SimTime::from_ps(i * 37 % 511), i);
+            }
+            while q.pop().is_some() {}
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    primitives,
+    frame_allocator,
+    vm_faults,
+    aal5_codec,
+    event_queue
+);
+criterion_main!(primitives);

@@ -1,0 +1,86 @@
+//! Regenerates every table and figure of the paper from the simulator.
+//!
+//! Usage:
+//!   report                 # everything
+//!   report fig3 table7 ... # selected exhibits
+//!
+//! Exhibits: table1 fig1 fig2 table2 table3 table4 table5 fig3 fig4
+//! fig5 fig6 fig7 table6 table7 table8 oc12 outboard ablations
+
+use genie_bench as gen;
+use genie_machine::MachineSpec;
+
+fn figure2_walkthrough() -> String {
+    use genie::{plan_aligned_input, PageAction};
+    let mut out = String::from(
+        "# Figure 2: input alignment — worked example\n\
+         buffer at page offset 16 (unstripped header), 3 pages of data,\n\
+         reverse-copyout threshold 2178:\n",
+    );
+    for p in plan_aligned_input(4096, 16, 3 * 4096, 2178) {
+        let action = match p.action {
+            PageAction::CopyOut => "copy out".to_string(),
+            PageAction::SwapWhole => "swap pages".to_string(),
+            PageAction::FillAndSwap {
+                fill_prefix,
+                fill_suffix,
+            } => format!("complete ({fill_prefix}+{fill_suffix} B from app page), then swap"),
+        };
+        out.push_str(&format!(
+            "  page {}: data [{}, {}) -> {}\n",
+            p.page,
+            p.data_start,
+            p.data_start + p.data_len,
+            action
+        ));
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
+    let m = MachineSpec::micron_p166;
+
+    type Exhibit = (&'static str, Box<dyn Fn() -> String>);
+    let exhibits: Vec<Exhibit> = vec![
+        ("table1", Box::new(gen::table1)),
+        ("fig1", Box::new(gen::figure1)),
+        ("fig2", Box::new(figure2_walkthrough)),
+        ("table2", Box::new(gen::table2)),
+        ("table3", Box::new(gen::table3)),
+        ("table4", Box::new(gen::table4)),
+        ("table5", Box::new(gen::table5)),
+        ("fig3", Box::new(move || gen::figure3(m()))),
+        ("fig4", Box::new(move || gen::figure4(m()))),
+        ("fig5", Box::new(move || gen::figure5(m()))),
+        ("fig6", Box::new(move || gen::figure6(m()))),
+        ("fig7", Box::new(move || gen::figure7(m()))),
+        ("table6", Box::new(move || gen::table6(m()))),
+        ("table7", Box::new(move || gen::table7(m()))),
+        ("table8", Box::new(gen::table8)),
+        ("oc12", Box::new(gen::oc12)),
+        ("outboard", Box::new(move || gen::outboard(m()))),
+        ("ablations", Box::new(move || gen::ablation_thresholds(m()))),
+        ("waterfall", Box::new(move || gen::breakdown_waterfall(m()))),
+    ];
+
+    let mut printed = 0;
+    for (name, f) in &exhibits {
+        if want(name) {
+            println!("{}\n", f());
+            printed += 1;
+        }
+    }
+    if printed == 0 {
+        eprintln!(
+            "unknown exhibit; available: {}",
+            exhibits
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        std::process::exit(2);
+    }
+}

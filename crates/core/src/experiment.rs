@@ -1,0 +1,447 @@
+//! Experiment drivers for the paper's Section 7 measurements.
+//!
+//! [`latency_sweep`] reproduces the latency figures (3, 5, 6, 7):
+//! one-way datagram latency for a (semantics, input-buffering,
+//! alignment) combination over a range of sizes. [`utilization_sweep`]
+//! reproduces Figure 4's CPU utilization using a ping-pong exchange.
+//! Every measured exchange also verifies the received bytes equal the
+//! sent bytes, so the performance experiments double as end-to-end
+//! integrity checks.
+
+use genie_machine::{LinkSpec, MachineSpec, SimTime};
+use genie_net::{InputBuffering, Vc, HEADER_LEN};
+use genie_vm::SpaceId;
+
+use crate::config::GenieConfig;
+use crate::error::GenieError;
+use crate::input::InputRequest;
+use crate::output::OutputRequest;
+use crate::semantics::{Allocation, Semantics};
+use crate::world::{HostId, World, WorldConfig};
+
+/// An experiment configuration: platform, link, input buffering, and
+/// receiver buffer alignment.
+#[derive(Clone, Debug)]
+pub struct ExperimentSetup {
+    /// Machine on both hosts.
+    pub machine: MachineSpec,
+    /// The link.
+    pub link: LinkSpec,
+    /// Receive-side input buffering.
+    pub rx_buffering: InputBuffering,
+    /// Receiver application-buffer page offset (application-allocated
+    /// semantics): [`HEADER_LEN`] for application-aligned pooled
+    /// buffers, 0 for page-aligned/unaligned-to-PDU buffers.
+    pub recv_page_off: usize,
+    /// Genie parameters.
+    pub genie: GenieConfig,
+}
+
+impl ExperimentSetup {
+    /// Figure 3/5 setup: early demultiplexing, page-aligned buffers.
+    pub fn early_demux(machine: MachineSpec) -> Self {
+        ExperimentSetup {
+            machine,
+            link: LinkSpec::oc3(),
+            rx_buffering: InputBuffering::EarlyDemux,
+            recv_page_off: 0,
+            genie: GenieConfig::default(),
+        }
+    }
+
+    /// Figure 6 setup: pooled input buffering, application buffers
+    /// aligned to the PDU data offset.
+    pub fn pooled_aligned(machine: MachineSpec) -> Self {
+        ExperimentSetup {
+            rx_buffering: InputBuffering::Pooled,
+            recv_page_off: HEADER_LEN,
+            ..Self::early_demux(machine)
+        }
+    }
+
+    /// Figure 7 setup: pooled input buffering, unaligned application
+    /// buffers.
+    pub fn pooled_unaligned(machine: MachineSpec) -> Self {
+        ExperimentSetup {
+            rx_buffering: InputBuffering::Pooled,
+            recv_page_off: 0,
+            ..Self::early_demux(machine)
+        }
+    }
+
+    /// Section 6.2.3 setup: outboard buffering (the paper could not
+    /// measure this; we simulate it).
+    pub fn outboard(machine: MachineSpec) -> Self {
+        ExperimentSetup {
+            rx_buffering: InputBuffering::Outboard,
+            recv_page_off: 0,
+            ..Self::early_demux(machine)
+        }
+    }
+
+    /// Builds the world configuration.
+    pub fn world_config(&self) -> WorldConfig {
+        WorldConfig {
+            machine_a: self.machine.clone(),
+            machine_b: self.machine.clone(),
+            link: self.link.clone(),
+            rx_buffering: self.rx_buffering,
+            genie: self.genie,
+            // Experiments build a fresh world per point; a small
+            // physical memory keeps that cheap while leaving ample
+            // headroom over the 15-page maximum datagram.
+            frames_per_host: 768,
+            ..WorldConfig::default()
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentPoint {
+    /// Datagram length in bytes.
+    pub bytes: usize,
+    /// One-way end-to-end latency.
+    pub latency: SimTime,
+    /// CPU utilization in [0, 1] (zero for pure latency sweeps).
+    pub utilization: f64,
+}
+
+/// Deterministic payload pattern.
+fn payload(len: usize, seed: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u64).wrapping_mul(31).wrapping_add(seed as u64) as u8)
+        .collect()
+}
+
+/// Drives one measured exchange (with one warm-up round so region
+/// caches and buffer pages are warm) and returns the measured latency.
+pub fn measure_latency(
+    setup: &ExperimentSetup,
+    semantics: Semantics,
+    bytes: usize,
+) -> Result<SimTime, GenieError> {
+    let mut w = World::new(setup.world_config());
+    let tx = w.create_process(HostId::A);
+    let rx = w.create_process(HostId::B);
+    let mut last = SimTime::ZERO;
+    let mut app_bufs: Option<(u64, u64)> = None;
+    for round in 0..2u8 {
+        let data = payload(bytes, round);
+        last = one_exchange_between(
+            &mut w,
+            semantics,
+            Vc(1),
+            HostId::A,
+            tx,
+            HostId::B,
+            rx,
+            setup.recv_page_off,
+            &data,
+            &mut app_bufs,
+        )?;
+    }
+    Ok(last)
+}
+
+/// Latency sweep over datagram sizes (Figures 3, 5, 6, 7).
+pub fn latency_sweep(
+    setup: &ExperimentSetup,
+    semantics: Semantics,
+    sizes: &[usize],
+) -> Vec<ExperimentPoint> {
+    sizes
+        .iter()
+        .map(|&bytes| ExperimentPoint {
+            bytes,
+            latency: measure_latency(setup, semantics, bytes).expect("experiment"),
+            utilization: 0.0,
+        })
+        .collect()
+}
+
+/// CPU utilization via ping-pong exchange (Figure 4): each host
+/// alternately sends and receives; utilization is host A's busy time
+/// over elapsed time, after a warm-up round.
+pub fn utilization_sweep(
+    setup: &ExperimentSetup,
+    semantics: Semantics,
+    sizes: &[usize],
+    rounds: usize,
+) -> Vec<ExperimentPoint> {
+    sizes
+        .iter()
+        .map(|&bytes| {
+            let (latency, utilization) =
+                measure_ping_pong(setup, semantics, bytes, rounds).expect("experiment");
+            ExperimentPoint {
+                bytes,
+                latency,
+                utilization,
+            }
+        })
+        .collect()
+}
+
+/// Runs `rounds` ping-pong rounds and returns (one-way latency of the
+/// last exchange, CPU utilization of host A).
+pub fn measure_ping_pong(
+    setup: &ExperimentSetup,
+    semantics: Semantics,
+    bytes: usize,
+    rounds: usize,
+) -> Result<(SimTime, f64), GenieError> {
+    let mut w = World::new(setup.world_config());
+    let pa = w.create_process(HostId::A);
+    let pb = w.create_process(HostId::B);
+    let mut bufs_ab: Option<(u64, u64)> = None;
+    let mut bufs_ba: Option<(u64, u64)> = None;
+
+    let mut half_round = |w: &mut World, dir: bool, seed: u8| -> Result<SimTime, GenieError> {
+        if dir {
+            one_exchange_between(
+                w,
+                semantics,
+                Vc(1),
+                HostId::A,
+                pa,
+                HostId::B,
+                pb,
+                setup.recv_page_off,
+                &payload(bytes, seed),
+                &mut bufs_ab,
+            )
+        } else {
+            one_exchange_between(
+                w,
+                semantics,
+                Vc(2),
+                HostId::B,
+                pb,
+                HostId::A,
+                pa,
+                setup.recv_page_off,
+                &payload(bytes, seed),
+                &mut bufs_ba,
+            )
+        }
+    };
+
+    // Warm-up round.
+    half_round(&mut w, true, 0)?;
+    half_round(&mut w, false, 1)?;
+    let busy0 = w.host(HostId::A).ledger.busy();
+    let t0 = w.now();
+    let mut last = SimTime::ZERO;
+    for r in 0..rounds {
+        last = half_round(&mut w, true, r as u8)?;
+        half_round(&mut w, false, r as u8 + 128)?;
+    }
+    let busy1 = w.host(HostId::A).ledger.busy();
+    let t1 = w.now();
+    let elapsed = (t1 - t0).as_us().max(1e-9);
+    Ok((last, (busy1 - busy0).as_us() / elapsed))
+}
+
+/// Generalized exchange between arbitrary endpoints (used by the
+/// ping-pong driver).
+#[allow(clippy::too_many_arguments)]
+fn one_exchange_between(
+    w: &mut World,
+    semantics: Semantics,
+    vc: Vc,
+    from: HostId,
+    tx_space: SpaceId,
+    to: HostId,
+    rx_space: SpaceId,
+    recv_page_off: usize,
+    data: &[u8],
+    app_bufs: &mut Option<(u64, u64)>,
+) -> Result<SimTime, GenieError> {
+    let bytes = data.len();
+    // Both hosts idle before a measured exchange, as in the paper's
+    // isolated runs.
+    w.quiesce();
+    match semantics.allocation() {
+        Allocation::Application => {
+            if app_bufs.is_none() {
+                let src = w.host_mut(from).alloc_buffer(tx_space, bytes, 0)?;
+                let dst = w
+                    .host_mut(to)
+                    .alloc_buffer(rx_space, bytes, recv_page_off)?;
+                *app_bufs = Some((src, dst));
+            }
+            let (src, dst) = app_bufs.expect("buffers");
+            w.input(to, InputRequest::app(semantics, vc, rx_space, dst, bytes))?;
+            w.app_write(from, tx_space, src, data)?;
+            w.output(
+                from,
+                OutputRequest::new(semantics, vc, tx_space, src, bytes),
+            )?;
+        }
+        Allocation::System => {
+            w.input(to, InputRequest::system(semantics, vc, rx_space, bytes))?;
+            let (_, src) = w.host_mut(from).alloc_io_buffer(tx_space, bytes)?;
+            w.app_write(from, tx_space, src, data)?;
+            w.output(
+                from,
+                OutputRequest::new(semantics, vc, tx_space, src, bytes),
+            )?;
+        }
+    }
+    w.run();
+    let done = w.take_completed_inputs();
+    let _ = w.take_completed_outputs();
+    assert_eq!(done.len(), 1);
+    let c = done[0];
+    let got = w.read_app(to, rx_space, c.vaddr, c.len)?;
+    assert_eq!(got, data, "corrupted delivery under {semantics}");
+    if let Some(region) = c.region {
+        w.release_input_region(to, region, semantics)?;
+    }
+    Ok(c.latency)
+}
+
+/// Streams `count` back-to-back datagrams A→B and returns the
+/// aggregate goodput in Mbit/s plus the receiver's CPU utilization
+/// over the stream.
+///
+/// With the wire serializing transmissions, the pipeline is
+/// link-bound for every semantics — which is exactly why the paper
+/// reports latencies rather than throughput ("to simplify analysis");
+/// the semantics reappear in the CPU utilization.
+pub fn measure_stream(
+    setup: &ExperimentSetup,
+    semantics: Semantics,
+    bytes: usize,
+    count: usize,
+) -> Result<(f64, f64), GenieError> {
+    let mut cfg = setup.world_config();
+    // Streams keep several datagrams' buffers alive at once.
+    cfg.frames_per_host = (count + 4) * (bytes / 4096 + 2) + 256;
+    let mut w = World::new(cfg);
+    let tx = w.create_process(HostId::A);
+    let rx = w.create_process(HostId::B);
+
+    // Prepost all inputs.
+    let mut dsts = Vec::new();
+    for _ in 0..count {
+        match semantics.allocation() {
+            Allocation::Application => {
+                let dst = w
+                    .host_mut(HostId::B)
+                    .alloc_buffer(rx, bytes, setup.recv_page_off)?;
+                w.input(
+                    HostId::B,
+                    InputRequest::app(semantics, Vc(1), rx, dst, bytes),
+                )?;
+                dsts.push(dst);
+            }
+            Allocation::System => {
+                w.input(HostId::B, InputRequest::system(semantics, Vc(1), rx, bytes))?;
+            }
+        }
+    }
+    let start = w.host(HostId::A).clock;
+    let busy0 = w.host(HostId::B).ledger.busy();
+    // Fire all outputs back to back; prepare stages serialize on the
+    // sender CPU, transmissions on the wire.
+    for i in 0..count {
+        let data = payload(bytes, i as u8);
+        let src = match semantics.allocation() {
+            Allocation::Application => {
+                let s = w.host_mut(HostId::A).alloc_buffer(tx, bytes, 0)?;
+                w.app_write(HostId::A, tx, s, &data)?;
+                s
+            }
+            Allocation::System => {
+                let (_r, s) = w.host_mut(HostId::A).alloc_io_buffer(tx, bytes)?;
+                w.app_write(HostId::A, tx, s, &data)?;
+                s
+            }
+        };
+        w.output(
+            HostId::A,
+            OutputRequest::new(semantics, Vc(1), tx, src, bytes),
+        )?;
+    }
+    w.run();
+    let done = w.take_completed_inputs();
+    assert_eq!(done.len(), count, "stream must deliver everything");
+    let mut last = SimTime::ZERO;
+    for (i, c) in done.iter().enumerate() {
+        assert_eq!(c.seq as usize, i, "in-order delivery");
+        let got = w.read_app(HostId::B, rx, c.vaddr, c.len)?;
+        assert_eq!(got, payload(bytes, i as u8), "datagram {i} corrupted");
+        last = last.max(c.completed_at);
+    }
+    let elapsed = last - start;
+    let goodput = (count * bytes) as f64 * 8.0 / elapsed.as_us();
+    let util = (w.host(HostId::B).ledger.busy() - busy0).as_us() / elapsed.as_us();
+    Ok((goodput, util))
+}
+
+/// Runs the two-round exchange of [`measure_latency`] with ledger
+/// sample recording enabled during the measured round, returning the
+/// latency plus the recorded operation samples of both hosts (the
+/// equivalent of the paper's cycle-counter instrumentation used to
+/// build Table 6).
+pub fn measure_latency_recorded(
+    setup: &ExperimentSetup,
+    semantics: Semantics,
+    bytes: usize,
+) -> Result<(SimTime, Vec<genie_machine::Sample>), GenieError> {
+    let mut w = World::new(setup.world_config());
+    let tx = w.create_process(HostId::A);
+    let rx = w.create_process(HostId::B);
+    let mut app_bufs: Option<(u64, u64)> = None;
+    // Warm-up round, unrecorded.
+    one_exchange_between(
+        &mut w,
+        semantics,
+        Vc(1),
+        HostId::A,
+        tx,
+        HostId::B,
+        rx,
+        setup.recv_page_off,
+        &payload(bytes, 0),
+        &mut app_bufs,
+    )?;
+    w.host_mut(HostId::A).ledger.record_samples(true);
+    w.host_mut(HostId::B).ledger.record_samples(true);
+    let latency = one_exchange_between(
+        &mut w,
+        semantics,
+        Vc(1),
+        HostId::A,
+        tx,
+        HostId::B,
+        rx,
+        setup.recv_page_off,
+        &payload(bytes, 1),
+        &mut app_bufs,
+    )?;
+    let mut samples = w.host(HostId::A).ledger.samples().to_vec();
+    samples.extend_from_slice(w.host(HostId::B).ledger.samples());
+    Ok((latency, samples))
+}
+
+/// Equivalent throughput in Mbit/s of a single datagram of `bytes`
+/// delivered in `latency` (how the paper reports Figures 3/6/7 in
+/// prose).
+pub fn throughput_mbps(bytes: usize, latency: SimTime) -> f64 {
+    (bytes as f64 * 8.0) / latency.as_us()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_conversion() {
+        // 61440 bytes in 3932 us ~ 125 Mbps.
+        let t = throughput_mbps(61_440, SimTime::from_us(3932.0));
+        assert!((t - 125.0).abs() < 1.0, "{t}");
+    }
+}

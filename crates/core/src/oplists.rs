@@ -1,0 +1,268 @@
+//! The operation lists of the paper's Tables 2, 3 and 4, as data.
+//!
+//! These drive the analysis crate's latency-breakdown estimates
+//! (Table 7 "E" rows) and the report's regeneration of Tables 2–4.
+//! A consistency test in the integration suite checks that the
+//! executed data paths charge exactly these operations.
+
+use genie_machine::Op;
+
+use crate::semantics::Semantics;
+
+/// How an operation's cost scales in the op lists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Fixed cost (charged with zero bytes/pages).
+    Fixed,
+    /// Charged over the whole buffer (bytes + its page span).
+    Buffer,
+}
+
+/// One operation use in a stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpUse {
+    /// The primitive operation.
+    pub op: Op,
+    /// Its scaling in this use.
+    pub scale: Scale,
+}
+
+const fn f(op: Op) -> OpUse {
+    OpUse {
+        op,
+        scale: Scale::Fixed,
+    }
+}
+
+const fn b(op: Op) -> OpUse {
+    OpUse {
+        op,
+        scale: Scale::Buffer,
+    }
+}
+
+/// Output prepare-stage operations (Table 2, left column).
+pub fn output_prepare(s: Semantics) -> Vec<OpUse> {
+    match s {
+        Semantics::Copy => vec![f(Op::SysBufAllocate), b(Op::Copyin)],
+        Semantics::EmulatedCopy => vec![b(Op::Reference), b(Op::ReadOnly)],
+        Semantics::Share => vec![b(Op::Reference), b(Op::Wire)],
+        Semantics::EmulatedShare => vec![b(Op::Reference)],
+        Semantics::Move => vec![
+            b(Op::Reference),
+            b(Op::Wire),
+            f(Op::RegionMarkOut),
+            b(Op::Invalidate),
+        ],
+        Semantics::EmulatedMove => {
+            vec![b(Op::Reference), f(Op::RegionMarkOut), b(Op::Invalidate)]
+        }
+        Semantics::WeakMove => vec![b(Op::Reference), b(Op::Wire), f(Op::RegionMarkOut)],
+        Semantics::EmulatedWeakMove => vec![b(Op::Reference), f(Op::RegionMarkOut)],
+    }
+}
+
+/// Output dispose-stage operations (Table 2, right column).
+pub fn output_dispose(s: Semantics) -> Vec<OpUse> {
+    match s {
+        Semantics::Copy => vec![f(Op::SysBufDeallocate)],
+        Semantics::EmulatedCopy | Semantics::EmulatedShare => vec![b(Op::Unreference)],
+        Semantics::Share => vec![b(Op::Unwire), b(Op::Unreference)],
+        Semantics::Move => vec![b(Op::Unwire), b(Op::Unreference), f(Op::RegionRemove)],
+        Semantics::EmulatedMove => vec![b(Op::Unreference), f(Op::RegionMarkOut)],
+        Semantics::WeakMove => vec![b(Op::Unwire), b(Op::Unreference), f(Op::RegionMarkOut)],
+        Semantics::EmulatedWeakMove => vec![b(Op::Unreference), f(Op::RegionMarkOut)],
+    }
+}
+
+/// Input prepare-stage operations with early demultiplexing (Table 3),
+/// in steady state (cached regions available for the move family).
+pub fn input_prepare_early(s: Semantics) -> Vec<OpUse> {
+    match s {
+        Semantics::Copy | Semantics::EmulatedCopy | Semantics::Move => vec![],
+        Semantics::Share => vec![b(Op::Reference), b(Op::Wire)],
+        Semantics::EmulatedShare => vec![b(Op::Reference)],
+        Semantics::EmulatedMove | Semantics::EmulatedWeakMove => vec![b(Op::Reference)],
+        Semantics::WeakMove => vec![b(Op::Reference), b(Op::Wire)],
+    }
+}
+
+/// Input ready-stage operations with early demultiplexing (Table 3).
+pub fn input_ready_early(s: Semantics) -> Vec<OpUse> {
+    match s {
+        Semantics::Copy | Semantics::Move => vec![f(Op::SysBufAllocate)],
+        Semantics::EmulatedCopy => vec![f(Op::AlignedBufAllocate)],
+        _ => vec![],
+    }
+}
+
+/// Input dispose-stage operations with early demultiplexing (Table 3),
+/// for page-multiple buffer lengths (no reverse copyout, no
+/// zero-completion remainder).
+pub fn input_dispose_early(s: Semantics) -> Vec<OpUse> {
+    match s {
+        Semantics::Copy => vec![b(Op::Copyout), f(Op::SysBufDeallocate)],
+        Semantics::EmulatedCopy => vec![b(Op::Swap), f(Op::AlignedBufDeallocate)],
+        Semantics::Share => vec![b(Op::Unwire), b(Op::Unreference)],
+        Semantics::EmulatedShare => vec![b(Op::Unreference)],
+        Semantics::Move => vec![
+            f(Op::RegionCreate),
+            b(Op::RegionFill),
+            b(Op::RegionMap),
+            f(Op::RegionMarkIn),
+        ],
+        Semantics::EmulatedMove => vec![b(Op::RegionCheckUnrefReinstateMarkIn)],
+        Semantics::WeakMove => vec![
+            f(Op::RegionCheck),
+            b(Op::Unwire),
+            b(Op::Unreference),
+            f(Op::RegionMarkIn),
+        ],
+        Semantics::EmulatedWeakMove => vec![b(Op::RegionCheckUnrefMarkIn)],
+    }
+}
+
+/// Input ready-stage operations with pooled buffering (Table 4): the
+/// same for every semantics.
+pub fn input_ready_pooled(_s: Semantics) -> Vec<OpUse> {
+    vec![f(Op::OverlayAllocate), f(Op::Overlay)]
+}
+
+/// Input dispose-stage operations with pooled buffering (Table 4).
+///
+/// `aligned` selects whether the application-allocated semantics can
+/// swap (application-aligned buffers, Figure 6) or must copy out
+/// (unaligned buffers, Figure 7); system-allocated semantics swap
+/// either way.
+pub fn input_dispose_pooled(s: Semantics, aligned: bool) -> Vec<OpUse> {
+    let pass = |v: &mut Vec<OpUse>| {
+        if aligned {
+            v.push(b(Op::Swap));
+        } else {
+            v.push(b(Op::Copyout));
+        }
+    };
+    match s {
+        Semantics::Copy => vec![b(Op::Copyout), b(Op::OverlayDeallocate)],
+        Semantics::EmulatedCopy => {
+            let mut v = vec![];
+            pass(&mut v);
+            v.push(b(Op::OverlayDeallocate));
+            v
+        }
+        Semantics::Share => {
+            let mut v = vec![b(Op::Unwire), b(Op::Unreference)];
+            pass(&mut v);
+            v.push(b(Op::OverlayDeallocate));
+            v
+        }
+        Semantics::EmulatedShare => {
+            let mut v = vec![b(Op::Unreference)];
+            pass(&mut v);
+            v.push(b(Op::OverlayDeallocate));
+            v
+        }
+        Semantics::Move => vec![
+            f(Op::RegionCreate),
+            b(Op::RegionFillOverlayRefill),
+            b(Op::RegionMap),
+            f(Op::RegionMarkIn),
+            b(Op::OverlayDeallocate),
+        ],
+        Semantics::EmulatedMove | Semantics::EmulatedWeakMove => vec![
+            f(Op::RegionCheck),
+            b(Op::Unreference),
+            b(Op::Swap),
+            f(Op::RegionMarkIn),
+            b(Op::OverlayDeallocate),
+        ],
+        Semantics::WeakMove => vec![
+            f(Op::RegionCheck),
+            b(Op::Unwire),
+            b(Op::Unreference),
+            b(Op::Swap),
+            f(Op::RegionMarkIn),
+            b(Op::OverlayDeallocate),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_never_touches_vm_protection_ops() {
+        for ops in [
+            output_prepare(Semantics::Copy),
+            output_dispose(Semantics::Copy),
+            input_dispose_early(Semantics::Copy),
+        ] {
+            assert!(ops
+                .iter()
+                .all(|u| !matches!(u.op, Op::ReadOnly | Op::Invalidate | Op::Swap)));
+        }
+    }
+
+    #[test]
+    fn emulated_semantics_never_wire() {
+        for s in [
+            Semantics::EmulatedCopy,
+            Semantics::EmulatedShare,
+            Semantics::EmulatedMove,
+            Semantics::EmulatedWeakMove,
+        ] {
+            let all: Vec<OpUse> = output_prepare(s)
+                .into_iter()
+                .chain(output_dispose(s))
+                .chain(input_prepare_early(s))
+                .chain(input_dispose_early(s))
+                .chain(input_dispose_pooled(s, true))
+                .collect();
+            assert!(
+                all.iter().all(|u| u.op != Op::Wire && u.op != Op::Unwire),
+                "{s} wires"
+            );
+        }
+    }
+
+    #[test]
+    fn only_copy_semantics_copies_data_on_aligned_paths() {
+        for s in Semantics::ALL {
+            let copies =
+                |ops: Vec<OpUse>| ops.iter().any(|u| matches!(u.op, Op::Copyin | Op::Copyout));
+            let out = copies(output_prepare(s));
+            let inp = copies(input_dispose_early(s));
+            let pooled_aligned = copies(input_dispose_pooled(s, true));
+            if s == Semantics::Copy {
+                assert!(out && inp && pooled_aligned);
+            } else {
+                assert!(!out && !inp && !pooled_aligned, "{s} copies");
+            }
+        }
+    }
+
+    #[test]
+    fn unaligned_pooled_forces_copy_on_application_allocated_only() {
+        for s in Semantics::ALL {
+            let copies = input_dispose_pooled(s, false)
+                .iter()
+                .any(|u| u.op == Op::Copyout);
+            match s.allocation() {
+                crate::semantics::Allocation::Application => {
+                    assert!(copies, "{s} should copy when unaligned")
+                }
+                crate::semantics::Allocation::System => {
+                    assert!(!copies, "{s} is layout-insensitive")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_ready_is_uniform() {
+        for s in Semantics::ALL {
+            assert_eq!(input_ready_pooled(s).len(), 2);
+        }
+    }
+}

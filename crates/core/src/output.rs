@@ -1,0 +1,412 @@
+//! The output data-passing path (paper Table 2).
+//!
+//! Output has two stages: **prepare**, when the application invokes
+//! the operation (its cost is on the end-to-end critical path), and
+//! **dispose**, when transmit-side DMA completes (overlapping network
+//! latency, but serializing with the application's next operation).
+
+use genie_machine::link::{cells_for_payload, AAL5_MAX_PAYLOAD};
+use genie_machine::{Op, SimTime};
+use genie_mem::{FrameId, IoDir};
+use genie_net::{checksum16, Adapter, DatagramHeader, Vc, HEADER_LEN};
+use genie_vm::{IoDescriptor, RegionHandle, RegionMark, SpaceId};
+
+use crate::config::ChecksumMode;
+use crate::error::GenieError;
+use crate::semantics::Semantics;
+use crate::world::{Event, HostId, World};
+
+/// An application's output request.
+#[derive(Clone, Copy, Debug)]
+pub struct OutputRequest {
+    /// Requested data-passing semantics.
+    pub semantics: Semantics,
+    /// Virtual circuit to send on.
+    pub vc: Vc,
+    /// Sending process.
+    pub space: SpaceId,
+    /// Buffer virtual address. For system-allocated semantics this
+    /// must be the start of a moved-in region.
+    pub vaddr: u64,
+    /// Buffer length in bytes.
+    pub len: usize,
+}
+
+impl OutputRequest {
+    /// Convenience constructor.
+    pub fn new(semantics: Semantics, vc: Vc, space: SpaceId, vaddr: u64, len: usize) -> Self {
+        OutputRequest {
+            semantics,
+            vc,
+            space,
+            vaddr,
+            len,
+        }
+    }
+}
+
+/// A finished output operation.
+#[derive(Clone, Copy, Debug)]
+pub struct SendCompletion {
+    /// Correlation token returned by [`World::output`].
+    pub token: u64,
+    /// Semantics requested by the application.
+    pub requested: Semantics,
+    /// Semantics actually used (thresholds may convert to copy).
+    pub effective: Semantics,
+    /// When the sender's dispose stage finished.
+    pub completed_at: SimTime,
+    /// Payload length.
+    pub len: usize,
+    /// Times the transmission stalled waiting for credits.
+    pub credit_stalls: u32,
+}
+
+/// An output in flight.
+#[derive(Debug)]
+pub(crate) struct PendingSend {
+    pub from: HostId,
+    pub vc: Vc,
+    pub requested: Semantics,
+    pub effective: Semantics,
+    pub desc: IoDescriptor,
+    pub sys_frames: Vec<FrameId>,
+    pub region: Option<RegionHandle>,
+    pub header: DatagramHeader,
+    pub len: usize,
+    pub invoked_at: SimTime,
+    pub stalls: u32,
+}
+
+impl World {
+    /// Invokes output with the requested semantics (Table 2 prepare
+    /// stage), schedules transmission, and returns a token.
+    pub fn output(&mut self, from: HostId, req: OutputRequest) -> Result<u64, GenieError> {
+        if req.len == 0 {
+            return Err(GenieError::Empty);
+        }
+        if req.len + HEADER_LEN > AAL5_MAX_PAYLOAD {
+            return Err(GenieError::TooLong(req.len));
+        }
+        let invoked_at = self.host(from).clock;
+        let effective = self.effective_output_semantics(req.semantics, req.len);
+        let token = self.take_token();
+        let seq = self.next_seq(req.vc);
+
+        // Fixed OS path: system call, socket/protocol layers.
+        self.host_mut(from).charge_latency(Op::OsFixedSend, 0, 0);
+
+        let (desc, sys_frames, region) = self.prepare_output(from, &req, effective)?;
+
+        // Optional checksumming (Section 9 ablation). With copy
+        // semantics the checksum can be integrated in the copy, which
+        // was already charged by `prepare_output`; every other path
+        // needs a separate read pass.
+        let checksum = match self.cfg.checksum {
+            ChecksumMode::None => 0,
+            ChecksumMode::Integrated | ChecksumMode::Separate => {
+                let integrated_in_copy =
+                    self.cfg.checksum == ChecksumMode::Integrated && effective == Semantics::Copy;
+                if !integrated_in_copy {
+                    self.host_mut(from)
+                        .charge_latency(Op::ChecksumRead, req.len, 0);
+                }
+                let bytes = Adapter::dma_gather(&self.host(from).vm.phys, &desc.vecs)?;
+                checksum16(&bytes)
+            }
+        };
+
+        let header = DatagramHeader {
+            src_port: req.vc.0 as u16,
+            dst_port: req.vc.0 as u16,
+            seq,
+            len: req.len as u32,
+            checksum,
+            flags: u16::from(self.cfg.checksum != ChecksumMode::None),
+        };
+
+        self.sends.insert(
+            token,
+            PendingSend {
+                from,
+                vc: req.vc,
+                requested: req.semantics,
+                effective,
+                desc,
+                sys_frames,
+                region,
+                header,
+                len: req.len,
+                invoked_at,
+                stalls: 0,
+            },
+        );
+        let t = self.host(from).clock;
+        self.txq
+            .entry((from.idx(), req.vc.0))
+            .or_default()
+            .push_back(token);
+        self.events.push(t, Event::Transmit { token });
+        Ok(token)
+    }
+
+    /// Applies the output copy-conversion thresholds (Section 6).
+    fn effective_output_semantics(&self, s: Semantics, len: usize) -> Semantics {
+        match s {
+            Semantics::EmulatedCopy if len < self.cfg.emulated_copy_output_threshold => {
+                Semantics::Copy
+            }
+            Semantics::EmulatedShare if len < self.cfg.emulated_share_output_threshold => {
+                Semantics::Copy
+            }
+            other => other,
+        }
+    }
+
+    /// Table 2 prepare-stage operations.
+    fn prepare_output(
+        &mut self,
+        from: HostId,
+        req: &OutputRequest,
+        effective: Semantics,
+    ) -> Result<(IoDescriptor, Vec<FrameId>, Option<RegionHandle>), GenieError> {
+        let page = self.host(from).page_size();
+        let page_off = (req.vaddr % page as u64) as usize;
+        let pages = self.host(from).machine().pages_spanned(page_off, req.len);
+        let host = self.host_mut(from);
+        match effective {
+            Semantics::Copy => {
+                // Allocate system buffer; copyin output data.
+                host.charge_latency(Op::SysBufAllocate, 0, 0);
+                let npages = req.len.div_ceil(page);
+                let frames = host.alloc_kernel_frames(npages)?;
+                let integrated = false; // handled by caller for checksum
+                let _ = integrated;
+                host.charge_latency(Op::Copyin, req.len, pages);
+                let (data, _faults) = host.vm.read_app(req.space, req.vaddr, req.len)?;
+                let mut triples = Vec::with_capacity(npages);
+                for (i, f) in frames.iter().enumerate() {
+                    let off = i * page;
+                    let n = (req.len - off).min(page);
+                    host.vm.phys.write(*f, 0, &data[off..off + n])?;
+                    triples.push((*f, 0usize, n));
+                }
+                let desc = host.vm.reference_frames(&triples, IoDir::Output)?;
+                Ok((desc, frames, None))
+            }
+            Semantics::EmulatedCopy => {
+                // Reference application pages; read-only them (TCOW).
+                host.charge_latency(Op::Reference, req.len, pages);
+                let (desc, _faults) =
+                    host.vm
+                        .reference_pages(req.space, req.vaddr, req.len, IoDir::Output)?;
+                host.charge_latency(Op::ReadOnly, req.len, pages);
+                host.vm.write_protect(req.space, req.vaddr, req.len);
+                Ok((desc, Vec::new(), None))
+            }
+            Semantics::Share => {
+                host.charge_latency(Op::Reference, req.len, pages);
+                let (desc, _faults) =
+                    host.vm
+                        .reference_pages(req.space, req.vaddr, req.len, IoDir::Output)?;
+                let region = host.vm.region_at(req.space, req.vaddr)?;
+                host.charge_latency(Op::Wire, req.len, pages);
+                host.vm.wire_region(region)?;
+                Ok((desc, Vec::new(), Some(region)))
+            }
+            Semantics::EmulatedShare => {
+                host.charge_latency(Op::Reference, req.len, pages);
+                let (desc, _faults) =
+                    host.vm
+                        .reference_pages(req.space, req.vaddr, req.len, IoDir::Output)?;
+                Ok((desc, Vec::new(), None))
+            }
+            Semantics::Move
+            | Semantics::EmulatedMove
+            | Semantics::WeakMove
+            | Semantics::EmulatedWeakMove => {
+                let region = host.vm.region_at(req.space, req.vaddr)?;
+                {
+                    let r = host.vm.region(region)?;
+                    if r.mark != RegionMark::MovedIn {
+                        return Err(GenieError::OutputRequiresMovedInRegion);
+                    }
+                    if req.vaddr != r.start_vpn * page as u64
+                        || req.len > (r.npages as usize) * page
+                    {
+                        return Err(GenieError::BufferMismatch(effective));
+                    }
+                }
+                host.charge_latency(Op::Reference, req.len, pages);
+                let (desc, _faults) =
+                    host.vm
+                        .reference_region_pages(region, 0, req.len, IoDir::Output)?;
+                if matches!(effective, Semantics::Move | Semantics::WeakMove) {
+                    host.charge_latency(Op::Wire, req.len, pages);
+                    host.vm.wire_region(region)?;
+                }
+                host.charge_latency(Op::RegionMarkOut, 0, 0);
+                host.vm.mark_region(region, RegionMark::MovingOut)?;
+                if matches!(effective, Semantics::Move | Semantics::EmulatedMove) {
+                    host.charge_latency(Op::Invalidate, req.len, pages);
+                    host.vm.invalidate_region(region)?;
+                }
+                Ok((desc, Vec::new(), Some(region)))
+            }
+        }
+    }
+
+    /// Transmit event: drain this PDU's per-VC transmit queue in FIFO
+    /// order. Each drained PDU is gathered by DMA (reading whatever
+    /// the frames hold *now* — in-place semantics race application
+    /// writes exactly as real DMA does), spends credits, and is
+    /// scheduled for arrival; a credit-stalled PDU blocks the head of
+    /// its VC's line so delivery order is preserved.
+    pub(crate) fn on_transmit(&mut self, time: SimTime, token: u64) {
+        let Some(send) = self.sends.get(&token) else {
+            return; // already transmitted by an earlier drain
+        };
+        let key = (send.from.idx(), send.vc.0);
+        while let Some(&front) = self.txq.get(&key).and_then(|q| q.front()) {
+            if !self.try_transmit_one(time, front) {
+                break;
+            }
+            self.txq.get_mut(&key).expect("queue exists").pop_front();
+        }
+    }
+
+    /// Attempts to put one pending PDU on the wire; returns false on a
+    /// credit stall (a retry is scheduled).
+    fn try_transmit_one(&mut self, time: SimTime, token: u64) -> bool {
+        let send = self.sends.get_mut(&token).expect("pending send");
+        let from = send.from;
+        let vc = send.vc;
+        let total = send.len + HEADER_LEN;
+        let cells = cells_for_payload(total);
+
+        if !self.hosts[from.idx()]
+            .adapter
+            .try_send_credits(vc, cells as u32)
+        {
+            // Out of credit: retry after a round-trip-ish delay (credit
+            // returns also wake this queue directly).
+            send.stalls += 1;
+            let retry = time + SimTime::from_us(50.0);
+            self.events.push(retry, Event::Transmit { token });
+            return false;
+        }
+
+        let send = self.sends.get(&token).expect("pending send");
+        let mut payload = Vec::with_capacity(total);
+        payload.extend_from_slice(&send.header.encode());
+        let data = Adapter::dma_gather(&self.hosts[from.idx()].vm.phys, &send.desc.vecs)
+            .expect("gather referenced frames");
+        payload.extend_from_slice(&data);
+
+        // Per-cell driver housekeeping: CPU busy, overlapped with the
+        // transmission (contributes to Figure 4, not to latency).
+        self.hosts[from.idx()].charge_overlapped(Op::CellTx, total, cells);
+
+        let dma_setup = self.hosts[from.idx()].charge_overlapped(Op::DmaSetup, 0, 0);
+        let dev_tx = self.hosts[from.idx()].charge_overlapped(Op::DeviceFixedSend, 0, 0);
+        let dev_rx = self.hosts[from.peer().idx()].charge_overlapped(Op::DeviceFixedRecv, 0, 0);
+        // The wire serializes transmissions in each direction:
+        // pipelined datagrams queue behind the previous PDU's cells.
+        let ready = time + dma_setup + dev_tx;
+        let wire_start = ready.max(self.link_busy_until[from.idx()]);
+        let wire_done = wire_start + self.link.wire_time(total);
+        self.link_busy_until[from.idx()] = wire_done;
+        let arrival = wire_done + self.link.fixed_latency + dev_rx;
+        let sent_at = send.invoked_at;
+        self.events.push(
+            arrival,
+            Event::Arrive {
+                to: from.peer(),
+                vc,
+                payload,
+                sent_at,
+                cells,
+            },
+        );
+        let txdone = wire_start.max(time) + self.dma.transfer_time(total);
+        self.events.push(txdone, Event::TxDone { token });
+        true
+    }
+
+    /// Transmit-DMA-complete event: Table 2 dispose-stage operations.
+    pub(crate) fn on_tx_done(&mut self, time: SimTime, token: u64) {
+        let send = self.sends.remove(&token).expect("pending send");
+        let from = send.from;
+        let page = self.host(from).page_size();
+        let page_off = send.desc.vecs.first().map_or(0, |v| v.offset % page);
+        let pages = self.host(from).machine().pages_spanned(page_off, send.len);
+        let host = self.host_mut(from);
+        // Dispose runs when the adapter raises tx-complete; it overlaps
+        // network latency but the application regains the CPU only
+        // afterwards.
+        host.clock = host.clock.max(time);
+        match send.effective {
+            Semantics::Copy => {
+                host.charge_latency(Op::SysBufDeallocate, 0, 0);
+                host.vm.unreference(&send.desc).expect("unreference");
+                host.free_kernel_frames(send.sys_frames.iter().copied());
+            }
+            Semantics::EmulatedCopy | Semantics::EmulatedShare => {
+                host.charge_latency(Op::Unreference, send.len, pages);
+                host.vm.unreference(&send.desc).expect("unreference");
+            }
+            Semantics::Share => {
+                host.charge_latency(Op::Unwire, send.len, pages);
+                let region = send.region.expect("share region");
+                let _ = host.vm.unwire_region(region);
+                host.charge_latency(Op::Unreference, send.len, pages);
+                host.vm.unreference(&send.desc).expect("unreference");
+            }
+            Semantics::Move => {
+                let region = send.region.expect("move region");
+                host.charge_latency(Op::Unwire, send.len, pages);
+                let _ = host.vm.unwire_region(region);
+                host.charge_latency(Op::Unreference, send.len, pages);
+                host.vm.unreference(&send.desc).expect("unreference");
+                host.charge_latency(Op::RegionRemove, 0, 0);
+                host.vm.remove_region(region).expect("remove region");
+            }
+            Semantics::EmulatedMove => {
+                let region = send.region.expect("region");
+                host.charge_latency(Op::Unreference, send.len, pages);
+                host.vm.unreference(&send.desc).expect("unreference");
+                host.charge_latency(Op::RegionMarkOut, 0, 0);
+                host.vm
+                    .mark_region(region, RegionMark::MovedOut)
+                    .expect("mark");
+                host.vm
+                    .space_mut(region.space)
+                    .cache_region(region.start_vpn, RegionMark::MovedOut);
+            }
+            Semantics::WeakMove | Semantics::EmulatedWeakMove => {
+                let region = send.region.expect("region");
+                if send.effective == Semantics::WeakMove {
+                    host.charge_latency(Op::Unwire, send.len, pages);
+                    let _ = host.vm.unwire_region(region);
+                }
+                host.charge_latency(Op::Unreference, send.len, pages);
+                host.vm.unreference(&send.desc).expect("unreference");
+                host.charge_latency(Op::RegionMarkOut, 0, 0);
+                host.vm
+                    .mark_region(region, RegionMark::WeaklyMovedOut)
+                    .expect("mark");
+                host.vm
+                    .space_mut(region.space)
+                    .cache_region(region.start_vpn, RegionMark::WeaklyMovedOut);
+            }
+        }
+        self.done_sends.push(SendCompletion {
+            token,
+            requested: send.requested,
+            effective: send.effective,
+            completed_at: self.host(from).clock,
+            len: send.len,
+            credit_stalls: send.stalls,
+        });
+    }
+}

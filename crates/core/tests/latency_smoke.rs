@@ -1,0 +1,59 @@
+//! Smoke checks: simulated end-to-end latencies must track the paper's
+//! Table 7 linear fits for the Micron P166 at OC-3.
+
+use genie::{latency_sweep, ExperimentSetup, Semantics};
+use genie_machine::MachineSpec;
+
+/// Paper Table 7, "A" (actual) rows: (slope us/B, fixed us) per
+/// semantics, early demultiplexing.
+const TABLE7_EARLY: [(Semantics, f64, f64); 8] = [
+    (Semantics::Copy, 0.0998, 125.0),
+    (Semantics::EmulatedCopy, 0.0622, 150.0),
+    (Semantics::Share, 0.0621, 162.0),
+    (Semantics::EmulatedShare, 0.0600, 137.0),
+    (Semantics::Move, 0.0626, 202.0),
+    (Semantics::EmulatedMove, 0.0609, 150.0),
+    (Semantics::WeakMove, 0.0615, 170.0),
+    (Semantics::EmulatedWeakMove, 0.0602, 143.0),
+];
+
+#[test]
+fn early_demux_latencies_track_table7() {
+    let setup = ExperimentSetup::early_demux(MachineSpec::micron_p166());
+    let sizes = [4096usize, 8 * 4096, 61_440];
+    for (sem, slope, fixed) in TABLE7_EARLY {
+        let points = latency_sweep(&setup, sem, &sizes);
+        for p in &points {
+            let want = slope * p.bytes as f64 + fixed;
+            let got = p.latency.as_us();
+            let err = (got - want).abs() / want;
+            assert!(
+                err < 0.10,
+                "{sem} at {}B: got {got:.1}us want {want:.1}us ({:.1}% off)",
+                p.bytes,
+                err * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn ordering_at_60kb_matches_figure3() {
+    let setup = ExperimentSetup::early_demux(MachineSpec::micron_p166());
+    let lat = |s| latency_sweep(&setup, s, &[61_440])[0].latency.as_us();
+    let copy = lat(Semantics::Copy);
+    let emu_copy = lat(Semantics::EmulatedCopy);
+    let emu_share = lat(Semantics::EmulatedShare);
+    let mv = lat(Semantics::Move);
+    // Copy is far worse than everything else; emulated copy reduces
+    // latency by ~37% (paper Section 7).
+    assert!(copy > 1.4 * emu_copy, "copy {copy} emu {emu_copy}");
+    let reduction = (copy - emu_copy) / copy;
+    assert!(
+        (0.30..0.45).contains(&reduction),
+        "reduction {reduction} not ~37%"
+    );
+    // Emulated share is the cheapest; move the costliest non-copy.
+    assert!(emu_share < emu_copy);
+    assert!(mv > emu_copy && mv < copy);
+}

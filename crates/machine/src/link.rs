@@ -1,0 +1,147 @@
+//! Network link specifications (Credit Net ATM at OC-3 / OC-12).
+//!
+//! The paper's experiments run over the Credit Net ATM network at OC-3
+//! (155 Mbps); its Section 8 extrapolates to OC-12 (622 Mbps). The
+//! effective per-byte wire cost combines the SONET line rate, SONET
+//! framing overhead, and the 53/48 ATM cell tax; this reproduces the
+//! network-dominated multiplicative factor of the paper's base latency
+//! (~0.0598 µs/B at OC-3, scaling inversely with the line rate).
+
+use crate::time::SimTime;
+
+/// ATM cell payload size in bytes.
+pub const CELL_PAYLOAD: usize = 48;
+/// ATM cell size on the wire in bytes (payload + 5-byte header).
+pub const CELL_SIZE: usize = 53;
+/// AAL5 trailer length in bytes.
+pub const AAL5_TRAILER: usize = 8;
+/// Maximum AAL5 PDU payload in bytes.
+pub const AAL5_MAX_PAYLOAD: usize = 65_535;
+
+/// A point-to-point ATM link.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// SONET line rate in Mbit/s (155.52 for OC-3, 622.08 for OC-12).
+    pub line_rate_mbps: f64,
+    /// Fraction of the line rate available to ATM cells after SONET
+    /// framing overhead (~0.963 for OC-3c).
+    pub framing_efficiency: f64,
+    /// One-way fixed latency of wire + adapter datapath, excluding
+    /// host-side software (part of the paper's base fixed term).
+    pub fixed_latency: SimTime,
+    /// Initial per-VC credits for credit-based flow control, in cells.
+    pub credits_per_vc: u32,
+}
+
+impl LinkSpec {
+    /// OC-3c, 155.52 Mbps — the rate of all measured experiments.
+    pub fn oc3() -> Self {
+        LinkSpec {
+            name: "OC-3c (155 Mbps)",
+            line_rate_mbps: 155.52,
+            framing_efficiency: 0.963,
+            fixed_latency: SimTime::from_us(12.0),
+            credits_per_vc: 256,
+        }
+    }
+
+    /// OC-12c, 622.08 Mbps — the rate of the paper's Section 8
+    /// extrapolation.
+    pub fn oc12() -> Self {
+        LinkSpec {
+            name: "OC-12c (622 Mbps)",
+            line_rate_mbps: 622.08,
+            framing_efficiency: 0.963,
+            fixed_latency: SimTime::from_us(12.0),
+            credits_per_vc: 256,
+        }
+    }
+
+    /// Effective payload bandwidth in bytes per microsecond, after
+    /// SONET framing and the 53/48 cell tax.
+    pub fn payload_bytes_per_us(&self) -> f64 {
+        let line_bytes_per_us = self.line_rate_mbps / 8.0;
+        line_bytes_per_us * self.framing_efficiency * (CELL_PAYLOAD as f64 / CELL_SIZE as f64)
+    }
+
+    /// Per-payload-byte wire cost in microseconds (the network-dominated
+    /// multiplicative factor of the base latency).
+    pub fn us_per_payload_byte(&self) -> f64 {
+        1.0 / self.payload_bytes_per_us()
+    }
+
+    /// Time for `payload_bytes` of AAL5 payload (including trailer and
+    /// padding to a whole number of cells) to cross the wire.
+    pub fn wire_time(&self, payload_bytes: usize) -> SimTime {
+        let cells = cells_for_payload(payload_bytes);
+        let bytes = cells * CELL_PAYLOAD;
+        SimTime::from_us(bytes as f64 * self.us_per_payload_byte())
+    }
+
+    /// Number of cells needed for an AAL5 PDU with `payload_bytes` of
+    /// user payload.
+    pub fn cells(&self, payload_bytes: usize) -> usize {
+        cells_for_payload(payload_bytes)
+    }
+}
+
+/// Cells needed to carry `payload` bytes plus the AAL5 trailer, padded
+/// to a whole number of cells.
+pub fn cells_for_payload(payload: usize) -> usize {
+    (payload + AAL5_TRAILER).div_ceil(CELL_PAYLOAD)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oc3_effective_rate_matches_paper_base_factor() {
+        let l = LinkSpec::oc3();
+        // Paper Table 6: base multiplicative factor 0.0598 us/B.
+        let us_per_byte = l.us_per_payload_byte();
+        assert!(
+            (0.057..0.062).contains(&us_per_byte),
+            "OC-3 per-byte cost {us_per_byte} outside paper's ~0.0598"
+        );
+    }
+
+    #[test]
+    fn oc12_scales_base_factor_by_four() {
+        let r = LinkSpec::oc3().us_per_payload_byte() / LinkSpec::oc12().us_per_payload_byte();
+        assert!((3.99..4.01).contains(&r));
+    }
+
+    #[test]
+    fn cell_count_includes_trailer_and_padding() {
+        // 40 bytes + 8 trailer = exactly one cell.
+        assert_eq!(cells_for_payload(40), 1);
+        // 41 bytes + 8 trailer = 49 -> two cells.
+        assert_eq!(cells_for_payload(41), 2);
+        // 60 KB datagram (the paper's largest).
+        assert_eq!(cells_for_payload(61_440), (61_440usize + 8).div_ceil(48));
+    }
+
+    #[test]
+    fn wire_time_monotonic_in_size() {
+        let l = LinkSpec::oc3();
+        let mut prev = SimTime::ZERO;
+        for b in [0usize, 1, 48, 4096, 61_440] {
+            let t = l.wire_time(b);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn sixty_kb_wire_time_near_3_7_ms() {
+        // 61440 B at ~16.7 MB/s ~= 3.67 ms... in microseconds: ~3670 us.
+        let t = LinkSpec::oc3().wire_time(61_440);
+        assert!(
+            (3_500.0..3_900.0).contains(&t.as_us()),
+            "unexpected wire time {t}"
+        );
+    }
+}

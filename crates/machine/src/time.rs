@@ -1,0 +1,237 @@
+//! Deterministic simulated time.
+//!
+//! All simulated costs in the Genie reproduction are expressed as
+//! [`SimTime`], an integer number of picoseconds. Integer picoseconds
+//! give sub-nanosecond resolution (the cheapest per-byte costs in the
+//! paper's Table 6 are ~0.1 ns/byte) while keeping every arithmetic
+//! operation exact and the whole simulation bit-for-bit reproducible.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, in integer picoseconds.
+///
+/// `SimTime` is used both for instants (host clocks, event timestamps)
+/// and durations (operation costs); the distinction is kept by
+/// convention, as in many discrete-event simulators.
+///
+/// # Examples
+///
+/// ```
+/// use genie_machine::SimTime;
+///
+/// let a = SimTime::from_us(1.5);
+/// let b = SimTime::from_ns(500.0);
+/// assert_eq!((a + b).as_us(), 2.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The zero instant / empty duration.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable time; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Creates a time from (possibly fractional) nanoseconds.
+    ///
+    /// Negative inputs saturate to zero: costs are never negative.
+    pub fn from_ns(ns: f64) -> Self {
+        SimTime((ns * 1e3).max(0.0).round() as u64)
+    }
+
+    /// Creates a time from (possibly fractional) microseconds.
+    ///
+    /// Negative inputs saturate to zero: costs are never negative.
+    pub fn from_us(us: f64) -> Self {
+        SimTime((us * 1e6).max(0.0).round() as u64)
+    }
+
+    /// Creates a time from whole milliseconds.
+    pub fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000_000)
+    }
+
+    /// This time as picoseconds.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This time as fractional nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// This time as fractional microseconds.
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This time as fractional seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating subtraction; clamps at zero instead of underflowing.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the larger of two times.
+    pub fn max(self, rhs: SimTime) -> SimTime {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Returns the smaller of two times.
+    pub fn min(self, rhs: SimTime) -> SimTime {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// True if this is the zero time.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0.checked_mul(rhs).expect("SimTime overflow"))
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs())
+        } else if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}ms", self.as_us() / 1e3)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_us())
+        } else {
+            write!(f, "{:.3}ns", self.as_ns())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_us(1.0).as_ps(), 1_000_000);
+        assert_eq!(SimTime::from_ns(1.0).as_ps(), 1_000);
+        assert_eq!(SimTime::from_ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(SimTime::from_us(2.5).as_us(), 2.5);
+    }
+
+    #[test]
+    fn negative_inputs_saturate_to_zero() {
+        assert_eq!(SimTime::from_us(-3.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_ns(-0.1), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_us(3.0);
+        let b = SimTime::from_us(1.0);
+        assert_eq!(a + b, SimTime::from_us(4.0));
+        assert_eq!(a - b, SimTime::from_us(2.0));
+        assert_eq!(b * 3, a);
+        assert_eq!(a / 3, b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = SimTime::from_us(1.0);
+        let b = SimTime::from_us(2.0);
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        assert_eq!(b.saturating_sub(a), SimTime::from_us(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime underflow")]
+    fn checked_sub_panics_on_underflow() {
+        let _ = SimTime::from_us(1.0) - SimTime::from_us(2.0);
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: SimTime = (1..=4).map(|i| SimTime::from_us(i as f64)).sum();
+        assert_eq!(total, SimTime::from_us(10.0));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::from_ns(12.0)), "12.000ns");
+        assert_eq!(format!("{}", SimTime::from_us(12.0)), "12.000us");
+        assert_eq!(format!("{}", SimTime::from_ms(12)), "12.000ms");
+    }
+}

@@ -1,0 +1,37 @@
+//! Error type for physical-memory operations.
+
+use core::fmt;
+
+use crate::frame::FrameId;
+
+/// Errors from the simulated physical-memory layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// No free frames remain.
+    OutOfFrames,
+    /// The frame id is out of range.
+    BadFrame(FrameId),
+    /// The frame is not currently allocated.
+    NotAllocated(FrameId),
+    /// The frame was already free (double free).
+    DoubleFree(FrameId),
+    /// An I/O reference count would underflow.
+    RefUnderflow(FrameId),
+    /// An I/O reference count would overflow.
+    RefOverflow(FrameId),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfFrames => write!(f, "out of physical frames"),
+            MemError::BadFrame(id) => write!(f, "invalid frame id {id:?}"),
+            MemError::NotAllocated(id) => write!(f, "frame {id:?} is not allocated"),
+            MemError::DoubleFree(id) => write!(f, "double free of frame {id:?}"),
+            MemError::RefUnderflow(id) => write!(f, "I/O refcount underflow on frame {id:?}"),
+            MemError::RefOverflow(id) => write!(f, "I/O refcount overflow on frame {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}

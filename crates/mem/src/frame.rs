@@ -1,0 +1,155 @@
+//! Physical page frames with I/O reference counts.
+
+use core::fmt;
+
+/// Index of a physical page frame.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameId(pub u32);
+
+impl fmt::Debug for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pf{}", self.0)
+    }
+}
+
+/// Direction of a pending I/O reference on a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoDir {
+    /// The frame is a target of pending input (device will write it).
+    Input,
+    /// The frame is a source of pending output (device will read it).
+    Output,
+}
+
+/// Lifecycle state of a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameState {
+    /// On the free list.
+    Free,
+    /// Allocated to a memory object or kernel pool.
+    Allocated,
+    /// Deallocated while I/O was pending (I/O-deferred deallocation,
+    /// paper Section 3.1): will be freed by the last unreference.
+    Zombie,
+}
+
+/// One physical page frame: real bytes plus I/O reference counts.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    data: Box<[u8]>,
+    in_count: u16,
+    out_count: u16,
+    state: FrameState,
+    /// Opaque owner tag set by the VM layer (memory object id); `None`
+    /// for kernel pool pages.
+    owner: Option<u64>,
+}
+
+impl Frame {
+    /// Creates a free frame of `page_size` bytes.
+    pub fn new(page_size: usize) -> Self {
+        Frame {
+            data: vec![0u8; page_size].into_boxed_slice(),
+            in_count: 0,
+            out_count: 0,
+            state: FrameState::Free,
+            owner: None,
+        }
+    }
+
+    /// Frame contents.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable frame contents.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Pending input references.
+    pub fn in_count(&self) -> u16 {
+        self.in_count
+    }
+
+    /// Pending output references.
+    pub fn out_count(&self) -> u16 {
+        self.out_count
+    }
+
+    /// True if any I/O is pending on this frame.
+    pub fn io_pending(&self) -> bool {
+        self.in_count > 0 || self.out_count > 0
+    }
+
+    /// Lifecycle state.
+    pub fn state(&self) -> FrameState {
+        self.state
+    }
+
+    /// Owner tag (memory object id), if any.
+    pub fn owner(&self) -> Option<u64> {
+        self.owner
+    }
+
+    pub(crate) fn set_state(&mut self, s: FrameState) {
+        self.state = s;
+    }
+
+    /// Sets the owner tag (the VM layer records the owning memory
+    /// object here when adopting a frame into an object).
+    pub fn set_owner(&mut self, owner: Option<u64>) {
+        self.owner = owner;
+    }
+
+    pub(crate) fn bump(&mut self, dir: IoDir) -> Result<(), ()> {
+        let c = match dir {
+            IoDir::Input => &mut self.in_count,
+            IoDir::Output => &mut self.out_count,
+        };
+        *c = c.checked_add(1).ok_or(())?;
+        Ok(())
+    }
+
+    pub(crate) fn drop_ref(&mut self, dir: IoDir) -> Result<(), ()> {
+        let c = match dir {
+            IoDir::Input => &mut self.in_count,
+            IoDir::Output => &mut self.out_count,
+        };
+        *c = c.checked_sub(1).ok_or(())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_frame_is_free_and_zeroed() {
+        let f = Frame::new(4096);
+        assert_eq!(f.state(), FrameState::Free);
+        assert_eq!(f.data().len(), 4096);
+        assert!(f.data().iter().all(|&b| b == 0));
+        assert!(!f.io_pending());
+    }
+
+    #[test]
+    fn counts_track_directions_independently() {
+        let mut f = Frame::new(4096);
+        f.bump(IoDir::Input).unwrap();
+        f.bump(IoDir::Input).unwrap();
+        f.bump(IoDir::Output).unwrap();
+        assert_eq!(f.in_count(), 2);
+        assert_eq!(f.out_count(), 1);
+        f.drop_ref(IoDir::Input).unwrap();
+        assert_eq!(f.in_count(), 1);
+        assert_eq!(f.out_count(), 1);
+    }
+
+    #[test]
+    fn drop_below_zero_is_an_error() {
+        let mut f = Frame::new(4096);
+        assert!(f.drop_ref(IoDir::Output).is_err());
+    }
+}

@@ -1,0 +1,327 @@
+//! The physical memory array and frame allocator.
+
+use crate::error::MemError;
+use crate::frame::{Frame, FrameId, FrameState, IoDir};
+
+/// Simulated physical memory: a frame array plus a LIFO free list.
+///
+/// Deallocation is **I/O-deferred** (paper Section 3.1): a frame with
+/// nonzero input or output reference count is never placed on the free
+/// list; it becomes a [`FrameState::Zombie`] and is freed by the final
+/// [`PhysMem::unref_io`].
+#[derive(Clone, Debug)]
+pub struct PhysMem {
+    page_size: usize,
+    frames: Vec<Frame>,
+    free: Vec<FrameId>,
+    deferred_frees: u64,
+}
+
+impl PhysMem {
+    /// Creates `frames` frames of `page_size` bytes each.
+    pub fn new(page_size: usize, frames: usize) -> Self {
+        assert!(page_size.is_power_of_two(), "page size must be 2^n");
+        let frames_vec: Vec<Frame> = (0..frames).map(|_| Frame::new(page_size)).collect();
+        // LIFO pop order: highest id first, matching a freshly built
+        // free list.
+        let free = (0..frames as u32).rev().map(FrameId).collect();
+        PhysMem {
+            page_size,
+            frames: frames_vec,
+            free,
+            deferred_frees: 0,
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Total number of frames.
+    pub fn total_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of frames currently on the free list.
+    pub fn free_frames(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of deallocations that had to be deferred because I/O was
+    /// pending (a paper-Section-3.1 safety event).
+    pub fn deferred_free_count(&self) -> u64 {
+        self.deferred_frees
+    }
+
+    /// Allocates a frame (contents undefined — whatever the previous
+    /// owner left there, exactly the hazard the paper's zeroing and
+    /// deferred deallocation guard against).
+    pub fn alloc(&mut self, owner: Option<u64>) -> Result<FrameId, MemError> {
+        let id = self.free.pop().ok_or(MemError::OutOfFrames)?;
+        let f = &mut self.frames[id.0 as usize];
+        debug_assert_eq!(f.state(), FrameState::Free);
+        debug_assert!(!f.io_pending(), "free frame with pending I/O");
+        f.set_state(FrameState::Allocated);
+        f.set_owner(owner);
+        Ok(id)
+    }
+
+    /// Allocates a frame and zero-fills it.
+    pub fn alloc_zeroed(&mut self, owner: Option<u64>) -> Result<FrameId, MemError> {
+        let id = self.alloc(owner)?;
+        self.frames[id.0 as usize].data_mut().fill(0);
+        Ok(id)
+    }
+
+    /// Deallocates a frame. If I/O is pending the frame becomes a
+    /// zombie and is freed by the last [`PhysMem::unref_io`].
+    pub fn dealloc(&mut self, id: FrameId) -> Result<(), MemError> {
+        let f = self.frame_mut(id)?;
+        match f.state() {
+            FrameState::Free => return Err(MemError::DoubleFree(id)),
+            FrameState::Zombie => return Err(MemError::DoubleFree(id)),
+            FrameState::Allocated => {}
+        }
+        f.set_owner(None);
+        if f.io_pending() {
+            f.set_state(FrameState::Zombie);
+            self.deferred_frees += 1;
+        } else {
+            f.set_state(FrameState::Free);
+            self.free.push(id);
+        }
+        Ok(())
+    }
+
+    /// Re-adopts a frame that is allocated or zombie (deallocated with
+    /// pending I/O) into a new owner, reviving zombies. Used when the
+    /// system maps input pages to a new region after the application
+    /// removed the original region mid-input (paper Section 6.2.1).
+    pub fn adopt(&mut self, id: FrameId, owner: Option<u64>) -> Result<(), MemError> {
+        let f = self.frame_mut(id)?;
+        if f.state() == FrameState::Free {
+            return Err(MemError::NotAllocated(id));
+        }
+        f.set_state(FrameState::Allocated);
+        f.set_owner(owner);
+        Ok(())
+    }
+
+    /// Adds one pending I/O reference in direction `dir` (page
+    /// referencing, paper Section 3.1).
+    pub fn ref_io(&mut self, id: FrameId, dir: IoDir) -> Result<(), MemError> {
+        let f = self.frame_mut(id)?;
+        if f.state() == FrameState::Free {
+            return Err(MemError::NotAllocated(id));
+        }
+        f.bump(dir).map_err(|()| MemError::RefOverflow(id))
+    }
+
+    /// Drops one pending I/O reference; frees the frame if it was a
+    /// zombie and this was its last reference.
+    pub fn unref_io(&mut self, id: FrameId, dir: IoDir) -> Result<(), MemError> {
+        let f = self.frame_mut(id)?;
+        f.drop_ref(dir).map_err(|()| MemError::RefUnderflow(id))?;
+        if f.state() == FrameState::Zombie && !f.io_pending() {
+            f.set_state(FrameState::Free);
+            self.free.push(id);
+        }
+        Ok(())
+    }
+
+    /// Shared access to a frame.
+    pub fn frame(&self, id: FrameId) -> Result<&Frame, MemError> {
+        self.frames.get(id.0 as usize).ok_or(MemError::BadFrame(id))
+    }
+
+    /// Mutable access to a frame.
+    pub fn frame_mut(&mut self, id: FrameId) -> Result<&mut Frame, MemError> {
+        self.frames
+            .get_mut(id.0 as usize)
+            .ok_or(MemError::BadFrame(id))
+    }
+
+    /// Reads `len` bytes at `offset` within frame `id`.
+    pub fn read(&self, id: FrameId, offset: usize, len: usize) -> Result<&[u8], MemError> {
+        let f = self.frame(id)?;
+        Ok(&f.data()[offset..offset + len])
+    }
+
+    /// Writes `bytes` at `offset` within frame `id`.
+    pub fn write(&mut self, id: FrameId, offset: usize, bytes: &[u8]) -> Result<(), MemError> {
+        let f = self.frame_mut(id)?;
+        f.data_mut()[offset..offset + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Copies `len` bytes between two frames (used for physical page
+    /// copies: COW resolution, overlay passing, reverse copyout).
+    pub fn copy(
+        &mut self,
+        src: FrameId,
+        src_off: usize,
+        dst: FrameId,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<(), MemError> {
+        if src == dst {
+            let f = self.frame_mut(src)?;
+            f.data_mut().copy_within(src_off..src_off + len, dst_off);
+            return Ok(());
+        }
+        let (a, b) = (src.0 as usize, dst.0 as usize);
+        if a.max(b) >= self.frames.len() {
+            return Err(MemError::BadFrame(FrameId(a.max(b) as u32)));
+        }
+        // Split the frame array to borrow source and destination
+        // simultaneously.
+        let (lo, hi) = self.frames.split_at_mut(a.max(b));
+        let (sf, df) = if a < b {
+            (&lo[a], &mut hi[0])
+        } else {
+            (&hi[0], &mut lo[b])
+        };
+        // `sf` is shared and `df` unique; with a == b handled above the
+        // ranges cannot alias.
+        let src_slice = &sf.data()[src_off..src_off + len];
+        df.data_mut()[dst_off..dst_off + len].copy_from_slice(src_slice);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> PhysMem {
+        PhysMem::new(4096, 32)
+    }
+
+    #[test]
+    fn alloc_and_free_cycle() {
+        let mut m = mem();
+        assert_eq!(m.free_frames(), 32);
+        let a = m.alloc(Some(1)).unwrap();
+        let b = m.alloc(Some(1)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(m.free_frames(), 30);
+        m.dealloc(a).unwrap();
+        assert_eq!(m.free_frames(), 31);
+        // LIFO: the next allocation reuses the just-freed frame.
+        assert_eq!(m.alloc(None).unwrap(), a);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut m = mem();
+        let a = m.alloc(None).unwrap();
+        m.dealloc(a).unwrap();
+        assert_eq!(m.dealloc(a), Err(MemError::DoubleFree(a)));
+    }
+
+    #[test]
+    fn exhaustion_reports_out_of_frames() {
+        let mut m = PhysMem::new(4096, 2);
+        m.alloc(None).unwrap();
+        m.alloc(None).unwrap();
+        assert_eq!(m.alloc(None), Err(MemError::OutOfFrames));
+    }
+
+    #[test]
+    fn deferred_deallocation_keeps_frame_off_free_list() {
+        let mut m = mem();
+        let a = m.alloc(Some(7)).unwrap();
+        m.write(a, 0, b"sensitive output data").unwrap();
+        m.ref_io(a, IoDir::Output).unwrap();
+        // Application frees its buffer while output is in flight.
+        m.dealloc(a).unwrap();
+        assert_eq!(m.frame(a).unwrap().state(), FrameState::Zombie);
+        assert_eq!(m.free_frames(), 31);
+        assert_eq!(m.deferred_free_count(), 1);
+        // Another process cannot be handed this frame.
+        for _ in 0..31 {
+            assert_ne!(m.alloc(None).unwrap(), a);
+        }
+        assert_eq!(m.alloc(None), Err(MemError::OutOfFrames));
+        // Data is still intact for the device.
+        assert_eq!(m.read(a, 0, 21).unwrap(), b"sensitive output data");
+        // I/O completes: the frame finally becomes reusable.
+        m.unref_io(a, IoDir::Output).unwrap();
+        assert_eq!(m.frame(a).unwrap().state(), FrameState::Free);
+        assert_eq!(m.free_frames(), 1);
+    }
+
+    #[test]
+    fn zombie_with_multiple_refs_waits_for_last() {
+        let mut m = mem();
+        let a = m.alloc(Some(1)).unwrap();
+        m.ref_io(a, IoDir::Output).unwrap();
+        m.ref_io(a, IoDir::Input).unwrap();
+        m.dealloc(a).unwrap();
+        m.unref_io(a, IoDir::Output).unwrap();
+        assert_eq!(m.frame(a).unwrap().state(), FrameState::Zombie);
+        m.unref_io(a, IoDir::Input).unwrap();
+        assert_eq!(m.frame(a).unwrap().state(), FrameState::Free);
+    }
+
+    #[test]
+    fn ref_on_free_frame_rejected() {
+        let mut m = mem();
+        let a = m.alloc(None).unwrap();
+        m.dealloc(a).unwrap();
+        assert_eq!(m.ref_io(a, IoDir::Input), Err(MemError::NotAllocated(a)));
+    }
+
+    #[test]
+    fn unref_underflow_rejected() {
+        let mut m = mem();
+        let a = m.alloc(None).unwrap();
+        assert_eq!(m.unref_io(a, IoDir::Input), Err(MemError::RefUnderflow(a)));
+    }
+
+    #[test]
+    fn copy_between_frames_moves_real_bytes() {
+        let mut m = mem();
+        let a = m.alloc(None).unwrap();
+        let b = m.alloc(None).unwrap();
+        m.write(a, 100, b"hello genie").unwrap();
+        m.copy(a, 100, b, 200, 11).unwrap();
+        assert_eq!(m.read(b, 200, 11).unwrap(), b"hello genie");
+        // Reverse direction (dst id < src id) also works.
+        m.copy(b, 200, a, 0, 11).unwrap();
+        assert_eq!(m.read(a, 0, 11).unwrap(), b"hello genie");
+    }
+
+    #[test]
+    fn copy_within_one_frame() {
+        let mut m = mem();
+        let a = m.alloc(None).unwrap();
+        m.write(a, 0, b"abcdef").unwrap();
+        m.copy(a, 0, a, 10, 6).unwrap();
+        assert_eq!(m.read(a, 10, 6).unwrap(), b"abcdef");
+    }
+
+    #[test]
+    fn zeroed_allocation_scrubs_previous_contents() {
+        let mut m = mem();
+        let a = m.alloc(None).unwrap();
+        m.write(a, 0, b"secret").unwrap();
+        m.dealloc(a).unwrap();
+        let b = m.alloc_zeroed(None).unwrap();
+        assert_eq!(b, a, "LIFO reuse expected");
+        assert!(m.read(b, 0, 6).unwrap().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn plain_allocation_leaks_previous_contents() {
+        // This is the hazard move semantics must zero against (paper
+        // Table 3: "Zero-complete system pages").
+        let mut m = mem();
+        let a = m.alloc(None).unwrap();
+        m.write(a, 0, b"secret").unwrap();
+        m.dealloc(a).unwrap();
+        let b = m.alloc(None).unwrap();
+        assert_eq!(m.read(b, 0, 6).unwrap(), b"secret");
+    }
+}

@@ -1,0 +1,184 @@
+//! AAL5 segmentation and reassembly.
+//!
+//! An AAL5 PDU is the user payload padded so that payload + 8-byte
+//! trailer fills a whole number of 48-byte cells; the trailer carries
+//! the payload length and a CRC-32 over the whole PDU. The last cell
+//! of a PDU is flagged (in real ATM via the PTI bit of the cell
+//! header).
+
+use genie_machine::link::{AAL5_MAX_PAYLOAD, AAL5_TRAILER, CELL_PAYLOAD};
+
+/// One ATM cell as the simulation carries it: VC id, 48-byte payload,
+/// and the end-of-PDU flag.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// Virtual-circuit identifier.
+    pub vc: u32,
+    /// Cell payload.
+    pub payload: [u8; CELL_PAYLOAD],
+    /// True on the final cell of a PDU.
+    pub last: bool,
+}
+
+/// Errors detected during reassembly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Aal5Error {
+    /// No cells were provided.
+    Empty,
+    /// The trailer length field is inconsistent with the cell count.
+    BadLength,
+    /// CRC-32 mismatch.
+    BadCrc,
+    /// The payload exceeds the AAL5 maximum.
+    TooLong,
+    /// A non-final cell carried the `last` flag, or vice versa.
+    BadFraming,
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, bit-reversed 0xEDB88320), as AAL5
+/// uses.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Segments `payload` into AAL5 cells on virtual circuit `vc`.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`AAL5_MAX_PAYLOAD`] (the caller — the
+/// protocol layer — fragments above that).
+pub fn segment(vc: u32, payload: &[u8]) -> Vec<Cell> {
+    assert!(payload.len() <= AAL5_MAX_PAYLOAD, "PDU too long for AAL5");
+    let total = (payload.len() + AAL5_TRAILER).div_ceil(CELL_PAYLOAD) * CELL_PAYLOAD;
+    let mut pdu = vec![0u8; total];
+    pdu[..payload.len()].copy_from_slice(payload);
+    // Trailer: ... | length (2 bytes) | CRC-32 (4 bytes), preceded by
+    // 2 bytes of UU/CPI which we leave zero.
+    let len_pos = total - 6;
+    pdu[len_pos..len_pos + 2].copy_from_slice(&(payload.len() as u16).to_be_bytes());
+    let crc = crc32(&pdu[..total - 4]);
+    pdu[total - 4..].copy_from_slice(&crc.to_be_bytes());
+
+    pdu.chunks_exact(CELL_PAYLOAD)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let mut payload = [0u8; CELL_PAYLOAD];
+            payload.copy_from_slice(chunk);
+            Cell {
+                vc,
+                payload,
+                last: (i + 1) * CELL_PAYLOAD == total,
+            }
+        })
+        .collect()
+}
+
+/// Reassembles one PDU from its cells, verifying framing, length and
+/// CRC.
+pub fn reassemble(cells: &[Cell]) -> Result<Vec<u8>, Aal5Error> {
+    if cells.is_empty() {
+        return Err(Aal5Error::Empty);
+    }
+    for (i, c) in cells.iter().enumerate() {
+        let should_be_last = i == cells.len() - 1;
+        if c.last != should_be_last {
+            return Err(Aal5Error::BadFraming);
+        }
+    }
+    let mut pdu = Vec::with_capacity(cells.len() * CELL_PAYLOAD);
+    for c in cells {
+        pdu.extend_from_slice(&c.payload);
+    }
+    let total = pdu.len();
+    let want_crc = u32::from_be_bytes(pdu[total - 4..].try_into().expect("4 bytes"));
+    if crc32(&pdu[..total - 4]) != want_crc {
+        return Err(Aal5Error::BadCrc);
+    }
+    let len = usize::from(u16::from_be_bytes(
+        pdu[total - 6..total - 4].try_into().expect("2 bytes"),
+    ));
+    if len > AAL5_MAX_PAYLOAD {
+        return Err(Aal5Error::TooLong);
+    }
+    // The payload + trailer must fit the cell count exactly.
+    if (len + AAL5_TRAILER).div_ceil(CELL_PAYLOAD) != cells.len() {
+        return Err(Aal5Error::BadLength);
+    }
+    pdu.truncate(len);
+    Ok(pdu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn segment_reassemble_round_trip() {
+        for len in [0usize, 1, 39, 40, 41, 48, 100, 4096, 61_440] {
+            let payload: Vec<u8> = (0..len).map(|i| (i % 253) as u8).collect();
+            let cells = segment(7, &payload);
+            assert!(cells.iter().all(|c| c.vc == 7));
+            let got = reassemble(&cells).expect("reassembly");
+            assert_eq!(got, payload, "len {len}");
+        }
+    }
+
+    #[test]
+    fn cell_count_matches_link_model() {
+        use genie_machine::link::cells_for_payload;
+        for len in [0usize, 40, 41, 4096, 61_440] {
+            assert_eq!(segment(0, &vec![0u8; len]).len(), cells_for_payload(len));
+        }
+    }
+
+    #[test]
+    fn corrupted_cell_fails_crc() {
+        let cells = {
+            let mut c = segment(0, b"hello, credit net atm");
+            c[0].payload[3] ^= 0x40;
+            c
+        };
+        assert_eq!(reassemble(&cells), Err(Aal5Error::BadCrc));
+    }
+
+    #[test]
+    fn dropped_last_cell_fails_framing() {
+        let mut cells = segment(0, &[1u8; 100]);
+        cells.pop();
+        assert_eq!(reassemble(&cells), Err(Aal5Error::BadFraming));
+    }
+
+    #[test]
+    fn dropped_middle_cell_fails() {
+        let mut cells = segment(0, &[2u8; 200]);
+        cells.remove(1);
+        let err = reassemble(&cells).unwrap_err();
+        assert!(matches!(err, Aal5Error::BadCrc | Aal5Error::BadLength));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(reassemble(&[]), Err(Aal5Error::Empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "PDU too long")]
+    fn oversized_pdu_panics() {
+        let _ = segment(0, &vec![0u8; AAL5_MAX_PAYLOAD + 1]);
+    }
+}

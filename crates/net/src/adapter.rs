@@ -1,0 +1,448 @@
+//! The Credit Net host interface, with the paper's three input
+//! buffering architectures (Section 6.2).
+//!
+//! - **Early demultiplexed**: the adapter keeps separate posted input
+//!   buffer lists per VC and DMAs incoming data directly into a buffer
+//!   from the appropriate list (scatter/gather of host frames).
+//! - **Pooled in-host**: the adapter allocates input buffers from a
+//!   pool of fixed-size overlay pages in host memory, without regard
+//!   to the request or connection.
+//! - **Outboard**: the adapter buffers incoming PDUs in its own
+//!   memory; the host later DMAs the data to its final destination
+//!   (a store-and-forward architecture).
+//!
+//! The transmit side gathers real bytes from host frames by simulated
+//! DMA — which, like real DMA, is **not** subject to page-table
+//! protections; only the page-referencing discipline keeps it safe.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use genie_mem::{FrameId, MemError, PhysMem};
+use genie_vm::IoVec;
+
+use crate::credit::CreditState;
+
+/// Virtual-circuit identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Vc(pub u32);
+
+/// Input buffering architecture of the receive path (paper
+/// Section 6.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InputBuffering {
+    /// Early demultiplexed: per-VC posted buffer lists.
+    EarlyDemux,
+    /// Pooled in-host overlay pages.
+    Pooled,
+    /// Outboard adapter memory.
+    Outboard,
+}
+
+/// A posted receive buffer: where the adapter should DMA the next PDU
+/// on a VC, plus a token correlating the completion with the pending
+/// Genie input operation.
+#[derive(Clone, Debug)]
+pub struct PostedRx {
+    /// Destination scatter list in host memory.
+    pub vecs: Vec<IoVec>,
+    /// Caller-chosen correlation token.
+    pub token: u64,
+}
+
+/// How a received PDU was buffered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RxCompletion {
+    /// Early demux: the payload was DMAed straight into the posted
+    /// buffers.
+    Direct {
+        /// Token of the posted receive that matched.
+        token: u64,
+        /// Bytes delivered.
+        len: usize,
+    },
+    /// Pooled: the payload sits in overlay frames; each entry is a
+    /// frame plus the number of valid bytes in it.
+    Overlay {
+        /// Overlay frames in order, with valid byte counts.
+        frames: Vec<(FrameId, usize)>,
+        /// Total bytes delivered.
+        len: usize,
+    },
+    /// Outboard: the payload sits in adapter memory slot `buf`.
+    Outboard {
+        /// Outboard buffer index.
+        buf: usize,
+        /// Total bytes delivered.
+        len: usize,
+    },
+    /// No buffer was available; the PDU was dropped.
+    Dropped,
+}
+
+/// The simulated network adapter of one host.
+#[derive(Debug)]
+pub struct Adapter {
+    mode: InputBuffering,
+    posted: BTreeMap<Vc, VecDeque<PostedRx>>,
+    pool: VecDeque<FrameId>,
+    outboard: Vec<Option<Vec<u8>>>,
+    credits: BTreeMap<Vc, CreditState>,
+    credit_limit: u32,
+    drops: u64,
+}
+
+impl Adapter {
+    /// Creates an adapter with the given receive architecture and
+    /// per-VC credit limit.
+    pub fn new(mode: InputBuffering, credit_limit: u32) -> Self {
+        Adapter {
+            mode,
+            posted: BTreeMap::new(),
+            pool: VecDeque::new(),
+            outboard: Vec::new(),
+            credits: BTreeMap::new(),
+            credit_limit,
+            drops: 0,
+        }
+    }
+
+    /// The receive architecture.
+    pub fn mode(&self) -> InputBuffering {
+        self.mode
+    }
+
+    /// PDUs dropped for lack of buffering.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    // ----- credits (transmit side) --------------------------------------------
+
+    /// Credit state for `vc`, created at the limit on first use.
+    pub fn credits_mut(&mut self, vc: Vc) -> &mut CreditState {
+        let limit = self.credit_limit;
+        self.credits
+            .entry(vc)
+            .or_insert_with(|| CreditState::new(limit))
+    }
+
+    /// Attempts to reserve transmit credits for `cells` cells on `vc`.
+    pub fn try_send_credits(&mut self, vc: Vc, cells: u32) -> bool {
+        self.credits_mut(vc).try_consume(cells)
+    }
+
+    /// Returns credits to `vc` (receiver drained buffers).
+    pub fn return_credits(&mut self, vc: Vc, cells: u32) {
+        self.credits_mut(vc).replenish(cells);
+    }
+
+    // ----- posted receives (early demultiplexing) ------------------------------
+
+    /// Posts a receive buffer on `vc`.
+    pub fn post_rx(&mut self, vc: Vc, rx: PostedRx) {
+        self.posted.entry(vc).or_default().push_back(rx);
+    }
+
+    /// Number of receives posted on `vc`.
+    pub fn posted_count(&self, vc: Vc) -> usize {
+        self.posted.get(&vc).map_or(0, VecDeque::len)
+    }
+
+    /// Withdraws the oldest posted receive on `vc` (e.g. when an input
+    /// operation is cancelled).
+    pub fn unpost_rx(&mut self, vc: Vc) -> Option<PostedRx> {
+        self.posted.get_mut(&vc)?.pop_front()
+    }
+
+    // ----- overlay pool (pooled in-host buffering) -------------------------------
+
+    /// Adds frames to the overlay pool.
+    pub fn fill_pool(&mut self, frames: impl IntoIterator<Item = FrameId>) {
+        self.pool.extend(frames);
+    }
+
+    /// Frames currently in the overlay pool.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    // ----- datapath ---------------------------------------------------------------
+
+    /// Transmit-side DMA: gathers the descriptor's bytes from host
+    /// frames. Like real DMA this ignores page-table protections; the
+    /// page-referencing discipline is what keeps it safe.
+    pub fn dma_gather(phys: &PhysMem, vecs: &[IoVec]) -> Result<Vec<u8>, MemError> {
+        let mut out = Vec::with_capacity(vecs.iter().map(|v| v.len).sum());
+        for v in vecs {
+            out.extend_from_slice(phys.read(v.frame, v.offset, v.len)?);
+        }
+        Ok(out)
+    }
+
+    /// Receive-side DMA: scatters `bytes` into host frames per the
+    /// destination list; returns the number of bytes stored.
+    pub fn dma_scatter(
+        phys: &mut PhysMem,
+        vecs: &[IoVec],
+        bytes: &[u8],
+    ) -> Result<usize, MemError> {
+        let mut src = 0usize;
+        for v in vecs {
+            if src >= bytes.len() {
+                break;
+            }
+            let n = v.len.min(bytes.len() - src);
+            phys.write(v.frame, v.offset, &bytes[src..src + n])?;
+            src += n;
+        }
+        Ok(src)
+    }
+
+    /// Delivers a received PDU according to the input-buffering
+    /// architecture. Early demultiplexing falls back to the pool when
+    /// nothing is posted on the VC (paper Section 6.2.2).
+    pub fn receive(
+        &mut self,
+        phys: &mut PhysMem,
+        vc: Vc,
+        payload: &[u8],
+    ) -> Result<RxCompletion, MemError> {
+        match self.mode {
+            InputBuffering::EarlyDemux => {
+                if let Some(rx) = self.unpost_rx(vc) {
+                    let len = Self::dma_scatter(phys, &rx.vecs, payload)?;
+                    if len < payload.len() {
+                        // Posted buffer too small: the tail is lost.
+                        self.drops += 1;
+                    }
+                    Ok(RxCompletion::Direct {
+                        token: rx.token,
+                        len,
+                    })
+                } else {
+                    self.receive_pooled(phys, payload)
+                }
+            }
+            InputBuffering::Pooled => self.receive_pooled(phys, payload),
+            InputBuffering::Outboard => {
+                let buf = self.outboard.iter().position(Option::is_none);
+                let data = payload.to_vec();
+                let len = data.len();
+                let idx = match buf {
+                    Some(i) => {
+                        self.outboard[i] = Some(data);
+                        i
+                    }
+                    None => {
+                        self.outboard.push(Some(data));
+                        self.outboard.len() - 1
+                    }
+                };
+                Ok(RxCompletion::Outboard { buf: idx, len })
+            }
+        }
+    }
+
+    fn receive_pooled(
+        &mut self,
+        phys: &mut PhysMem,
+        payload: &[u8],
+    ) -> Result<RxCompletion, MemError> {
+        let page = phys.page_size();
+        let need = payload.len().div_ceil(page).max(1);
+        if self.pool.len() < need {
+            self.drops += 1;
+            return Ok(RxCompletion::Dropped);
+        }
+        let mut frames = Vec::with_capacity(need);
+        let mut src = 0usize;
+        for _ in 0..need {
+            let f = self.pool.pop_front().expect("pool size checked");
+            let n = (payload.len() - src).min(page);
+            phys.write(f, 0, &payload[src..src + n])?;
+            src += n;
+            frames.push((f, n));
+        }
+        Ok(RxCompletion::Overlay {
+            frames,
+            len: payload.len(),
+        })
+    }
+
+    // ----- outboard memory -----------------------------------------------------
+
+    /// Reads an outboard buffer.
+    pub fn outboard_data(&self, buf: usize) -> Option<&[u8]> {
+        self.outboard.get(buf)?.as_deref()
+    }
+
+    /// Frees an outboard buffer.
+    pub fn outboard_free(&mut self, buf: usize) -> Option<Vec<u8>> {
+        self.outboard.get_mut(buf)?.take()
+    }
+
+    /// Outboard buffers currently held.
+    pub fn outboard_in_use(&self) -> usize {
+        self.outboard.iter().filter(|b| b.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phys() -> PhysMem {
+        PhysMem::new(4096, 64)
+    }
+
+    fn vec_for(phys: &mut PhysMem, len: usize) -> Vec<IoVec> {
+        let page = phys.page_size();
+        let mut vecs = Vec::new();
+        let mut left = len;
+        while left > 0 {
+            let f = phys.alloc(None).unwrap();
+            let n = left.min(page);
+            vecs.push(IoVec {
+                frame: f,
+                offset: 0,
+                len: n,
+                object: None,
+            });
+            left -= n;
+        }
+        vecs
+    }
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        let mut p = phys();
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let dst = vec_for(&mut p, payload.len());
+        let n = Adapter::dma_scatter(&mut p, &dst, &payload).unwrap();
+        assert_eq!(n, payload.len());
+        let got = Adapter::dma_gather(&p, &dst).unwrap();
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn early_demux_hits_posted_buffer() {
+        let mut p = phys();
+        let mut a = Adapter::new(InputBuffering::EarlyDemux, 256);
+        let dst = vec_for(&mut p, 5000);
+        a.post_rx(
+            Vc(1),
+            PostedRx {
+                vecs: dst.clone(),
+                token: 77,
+            },
+        );
+        let payload = vec![0x5au8; 5000];
+        let c = a.receive(&mut p, Vc(1), &payload).unwrap();
+        assert_eq!(
+            c,
+            RxCompletion::Direct {
+                token: 77,
+                len: 5000
+            }
+        );
+        assert_eq!(Adapter::dma_gather(&p, &dst).unwrap(), payload);
+        assert_eq!(a.posted_count(Vc(1)), 0);
+    }
+
+    #[test]
+    fn early_demux_falls_back_to_pool_when_unposted() {
+        let mut p = phys();
+        let mut a = Adapter::new(InputBuffering::EarlyDemux, 256);
+        let pool: Vec<FrameId> = (0..4).map(|_| p.alloc(None).unwrap()).collect();
+        a.fill_pool(pool);
+        let payload = vec![0x11u8; 6000];
+        match a.receive(&mut p, Vc(2), &payload).unwrap() {
+            RxCompletion::Overlay { frames, len } => {
+                assert_eq!(len, 6000);
+                assert_eq!(frames.len(), 2);
+                assert_eq!(frames[0].1, 4096);
+                assert_eq!(frames[1].1, 6000 - 4096);
+            }
+            other => panic!("expected overlay, got {other:?}"),
+        }
+        assert_eq!(a.pool_len(), 2);
+    }
+
+    #[test]
+    fn pooled_drops_when_pool_exhausted() {
+        let mut p = phys();
+        let mut a = Adapter::new(InputBuffering::Pooled, 256);
+        let f = p.alloc(None).unwrap();
+        a.fill_pool([f]);
+        let c = a.receive(&mut p, Vc(0), &vec![1u8; 8000]).unwrap();
+        assert_eq!(c, RxCompletion::Dropped);
+        assert_eq!(a.drops(), 1);
+        // The single-frame PDU still goes through.
+        let c = a.receive(&mut p, Vc(0), &[2u8; 100]).unwrap();
+        assert!(matches!(c, RxCompletion::Overlay { .. }));
+    }
+
+    #[test]
+    fn outboard_stores_and_frees() {
+        let mut p = phys();
+        let mut a = Adapter::new(InputBuffering::Outboard, 256);
+        let c = a.receive(&mut p, Vc(0), b"outboard payload").unwrap();
+        let RxCompletion::Outboard { buf, len } = c else {
+            panic!("expected outboard");
+        };
+        assert_eq!(len, 16);
+        assert_eq!(a.outboard_data(buf).unwrap(), b"outboard payload");
+        assert_eq!(a.outboard_in_use(), 1);
+        let data = a.outboard_free(buf).unwrap();
+        assert_eq!(data, b"outboard payload");
+        assert_eq!(a.outboard_in_use(), 0);
+        // Slot is reused.
+        let c2 = a.receive(&mut p, Vc(0), b"again").unwrap();
+        assert_eq!(c2, RxCompletion::Outboard { buf, len: 5 });
+    }
+
+    #[test]
+    fn credits_flow() {
+        let mut a = Adapter::new(InputBuffering::EarlyDemux, 4);
+        assert!(a.try_send_credits(Vc(9), 3));
+        assert!(!a.try_send_credits(Vc(9), 2));
+        a.return_credits(Vc(9), 3);
+        assert!(a.try_send_credits(Vc(9), 2));
+        // Other VCs are independent.
+        assert!(a.try_send_credits(Vc(10), 4));
+    }
+
+    #[test]
+    fn dma_ignores_page_protections() {
+        // DMA reads data regardless of PTE permissions; this is why
+        // referencing/TCOW (not protections) guard in-flight pages.
+        let mut p = phys();
+        let f = p.alloc(None).unwrap();
+        p.write(f, 0, b"protected?").unwrap();
+        let vecs = [IoVec {
+            frame: f,
+            offset: 0,
+            len: 10,
+            object: None,
+        }];
+        // No page table involved at all at this layer.
+        assert_eq!(Adapter::dma_gather(&p, &vecs).unwrap(), b"protected?");
+    }
+
+    #[test]
+    fn truncated_posted_buffer_counts_a_drop() {
+        let mut p = phys();
+        let mut a = Adapter::new(InputBuffering::EarlyDemux, 256);
+        let dst = vec_for(&mut p, 100);
+        a.post_rx(
+            Vc(1),
+            PostedRx {
+                vecs: dst,
+                token: 1,
+            },
+        );
+        let c = a.receive(&mut p, Vc(1), &[9u8; 200]).unwrap();
+        assert_eq!(c, RxCompletion::Direct { token: 1, len: 100 });
+        assert_eq!(a.drops(), 1);
+    }
+}

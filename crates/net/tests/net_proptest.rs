@@ -1,0 +1,92 @@
+//! Property tests for the network substrate: AAL5 framing, corruption
+//! detection, header codec, checksums and credit accounting.
+
+use genie_net::{aal5, checksum16, CreditState, DatagramHeader, HEADER_LEN};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Segmentation/reassembly round-trips any payload.
+    #[test]
+    fn aal5_round_trips(payload in prop::collection::vec(any::<u8>(), 0..20_000), vc in any::<u32>()) {
+        let cells = aal5::segment(vc, &payload);
+        prop_assert!(cells.iter().all(|c| c.vc == vc));
+        prop_assert_eq!(aal5::reassemble(&cells).expect("reassemble"), payload);
+    }
+
+    /// Any single-bit corruption anywhere in any cell is detected.
+    #[test]
+    fn aal5_detects_any_single_bit_flip(
+        payload in prop::collection::vec(any::<u8>(), 1..2000),
+        cell_sel in any::<u16>(),
+        byte_sel in 0usize..48,
+        bit in 0u8..8,
+    ) {
+        let mut cells = aal5::segment(0, &payload);
+        let ci = cell_sel as usize % cells.len();
+        cells[ci].payload[byte_sel] ^= 1 << bit;
+        prop_assert!(aal5::reassemble(&cells).is_err(), "corruption undetected");
+    }
+
+    /// Dropping any one cell is detected.
+    #[test]
+    fn aal5_detects_any_dropped_cell(
+        payload in prop::collection::vec(any::<u8>(), 60..4000),
+        drop_sel in any::<u16>(),
+    ) {
+        let mut cells = aal5::segment(0, &payload);
+        prop_assume!(cells.len() >= 2);
+        let di = drop_sel as usize % cells.len();
+        cells.remove(di);
+        prop_assert!(aal5::reassemble(&cells).is_err(), "dropped cell undetected");
+    }
+
+    /// Header encode/decode is the identity.
+    #[test]
+    fn header_round_trips(
+        src_port in any::<u16>(), dst_port in any::<u16>(),
+        seq in any::<u32>(), len in any::<u32>(),
+        checksum in any::<u16>(), flags in any::<u16>(),
+    ) {
+        let h = DatagramHeader { src_port, dst_port, seq, len, checksum, flags };
+        let enc = h.encode();
+        prop_assert_eq!(enc.len(), HEADER_LEN);
+        prop_assert_eq!(DatagramHeader::decode(&enc), Some(h));
+    }
+
+    /// The Internet checksum verifies: folding the data with its own
+    /// checksum (padded to even length) yields zero.
+    #[test]
+    fn checksum_self_verifies(data in prop::collection::vec(any::<u8>(), 0..5000)) {
+        let c = checksum16(&data);
+        let mut with = data.clone();
+        if with.len() % 2 == 1 {
+            with.push(0);
+        }
+        with.extend_from_slice(&c.to_be_bytes());
+        prop_assert_eq!(checksum16(&with), 0);
+    }
+
+    /// Credit accounting: available never exceeds the limit and
+    /// consume/replenish balance out.
+    #[test]
+    fn credits_never_exceed_limit(
+        limit in 1u32..1000,
+        ops in prop::collection::vec((any::<bool>(), 1u32..64), 1..100),
+    ) {
+        let mut c = CreditState::new(limit);
+        let mut consumed_total = 0u64;
+        for (consume, n) in ops {
+            if consume {
+                if c.try_consume(n) {
+                    consumed_total += u64::from(n);
+                }
+            } else {
+                c.replenish(n);
+            }
+            prop_assert!(c.available() <= c.limit());
+        }
+        prop_assert_eq!(c.sent(), consumed_total);
+    }
+}

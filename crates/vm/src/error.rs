@@ -1,0 +1,76 @@
+//! Error type for VM operations.
+
+use core::fmt;
+
+use genie_mem::MemError;
+
+use crate::ids::SpaceId;
+use crate::region::RegionMark;
+
+/// Errors from the simulated VM subsystem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// The address is not covered by any region.
+    NoRegion(u64),
+    /// Access faulted and the fault is unrecoverable — e.g. the region
+    /// is (or appears) moved out. The simulated-process equivalent of
+    /// SIGSEGV.
+    UnrecoverableFault {
+        /// Faulting virtual address.
+        vaddr: u64,
+        /// Mark of the region at fault time, if a region existed.
+        mark: Option<RegionMark>,
+    },
+    /// Write attempted where the region itself forbids writing.
+    ProtectionViolation(u64),
+    /// The region is in the wrong move-state for the operation.
+    WrongMark {
+        /// Actual mark found.
+        found: RegionMark,
+    },
+    /// Output with system-allocated semantics requires a moved-in
+    /// region (paper Section 2.1: deallocating an unmovable region
+    /// would open gaps in the heap or stack).
+    NotMovedIn,
+    /// No suitably sized cached region was found (callers usually
+    /// recover by allocating a fresh region).
+    NoCachedRegion,
+    /// Unknown address space.
+    BadSpace(SpaceId),
+    /// The range overlaps an existing region or wraps around.
+    BadRange,
+    /// Underlying physical-memory error.
+    Mem(MemError),
+    /// Region wiring underflow (unwire without wire).
+    WireUnderflow,
+}
+
+impl From<MemError> for VmError {
+    fn from(e: MemError) -> Self {
+        VmError::Mem(e)
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::NoRegion(va) => write!(f, "no region covers vaddr {va:#x}"),
+            VmError::UnrecoverableFault { vaddr, mark } => {
+                write!(
+                    f,
+                    "unrecoverable fault at {vaddr:#x} (region mark {mark:?})"
+                )
+            }
+            VmError::ProtectionViolation(va) => write!(f, "protection violation at {va:#x}"),
+            VmError::WrongMark { found } => write!(f, "region in wrong state {found:?}"),
+            VmError::NotMovedIn => write!(f, "system-allocated output requires a moved-in region"),
+            VmError::NoCachedRegion => write!(f, "no cached region of the requested size"),
+            VmError::BadSpace(s) => write!(f, "unknown address space {s:?}"),
+            VmError::BadRange => write!(f, "bad or overlapping virtual range"),
+            VmError::Mem(e) => write!(f, "physical memory error: {e}"),
+            VmError::WireUnderflow => write!(f, "unwire without matching wire"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}

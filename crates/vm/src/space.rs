@@ -1,0 +1,312 @@
+//! Address spaces: region maps, page tables, and region caches.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use genie_mem::FrameId;
+
+use crate::error::VmError;
+use crate::ids::SpaceId;
+use crate::region::{Region, RegionMark};
+
+/// A page-table entry: a mapped frame plus access permissions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pte {
+    /// Mapped physical frame.
+    pub frame: FrameId,
+    /// Read permission.
+    pub read: bool,
+    /// Write permission.
+    pub write: bool,
+}
+
+/// Handle naming a region inside a particular address space.
+///
+/// Regions are identified by their starting virtual page, which is
+/// stable for the region's lifetime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RegionHandle {
+    /// Owning address space.
+    pub space: SpaceId,
+    /// First virtual page number of the region.
+    pub start_vpn: u64,
+}
+
+/// One simulated address space.
+#[derive(Clone, Debug)]
+pub struct AddressSpace {
+    id: SpaceId,
+    /// Regions keyed by starting virtual page number.
+    regions: BTreeMap<u64, Region>,
+    /// Page-table entries keyed by virtual page number.
+    ptes: BTreeMap<u64, Pte>,
+    /// Region cache for moved-out regions (emulated move).
+    moved_out_q: VecDeque<u64>,
+    /// Region cache for weakly-moved-out regions (weak move family).
+    weak_out_q: VecDeque<u64>,
+    /// Bump pointer for fresh region placement.
+    next_vpn: u64,
+}
+
+impl AddressSpace {
+    /// Creates an empty space. Virtual pages `[1, ...)` are available;
+    /// page 0 is left unmapped as a null guard.
+    pub fn new(id: SpaceId) -> Self {
+        AddressSpace {
+            id,
+            regions: BTreeMap::new(),
+            ptes: BTreeMap::new(),
+            moved_out_q: VecDeque::new(),
+            weak_out_q: VecDeque::new(),
+            next_vpn: 1,
+        }
+    }
+
+    /// This space's id.
+    pub fn id(&self) -> SpaceId {
+        self.id
+    }
+
+    /// Reserves `npages` of fresh virtual address space and returns the
+    /// starting vpn (with a one-page guard gap between regions).
+    pub fn reserve(&mut self, npages: u64) -> u64 {
+        let start = self.next_vpn;
+        self.next_vpn = start + npages + 1;
+        start
+    }
+
+    /// Inserts a region. Fails if it overlaps an existing region.
+    pub fn insert_region(&mut self, region: Region) -> Result<(), VmError> {
+        let start = region.start_vpn;
+        let end = region.end_vpn();
+        if end <= start {
+            return Err(VmError::BadRange);
+        }
+        // Previous region must end at or before `start`.
+        if let Some((_, prev)) = self.regions.range(..=start).next_back() {
+            if prev.end_vpn() > start {
+                return Err(VmError::BadRange);
+            }
+        }
+        // Next region must start at or after `end`.
+        if let Some((&next_start, _)) = self.regions.range(start..).next() {
+            if next_start < end {
+                return Err(VmError::BadRange);
+            }
+        }
+        self.next_vpn = self.next_vpn.max(end + 1);
+        self.regions.insert(start, region);
+        Ok(())
+    }
+
+    /// Removes and returns the region starting at `start_vpn`.
+    pub fn remove_region(&mut self, start_vpn: u64) -> Option<Region> {
+        self.regions.remove(&start_vpn)
+    }
+
+    /// The region starting exactly at `start_vpn`.
+    pub fn region(&self, start_vpn: u64) -> Option<&Region> {
+        self.regions.get(&start_vpn)
+    }
+
+    /// Mutable access to the region starting exactly at `start_vpn`.
+    pub fn region_mut(&mut self, start_vpn: u64) -> Option<&mut Region> {
+        self.regions.get_mut(&start_vpn)
+    }
+
+    /// The region covering virtual page `vpn`, if any.
+    pub fn region_covering(&self, vpn: u64) -> Option<&Region> {
+        self.regions
+            .range(..=vpn)
+            .next_back()
+            .map(|(_, r)| r)
+            .filter(|r| r.contains(vpn))
+    }
+
+    /// Mutable access to the region covering `vpn`.
+    pub fn region_covering_mut(&mut self, vpn: u64) -> Option<&mut Region> {
+        self.regions
+            .range_mut(..=vpn)
+            .next_back()
+            .map(|(_, r)| r)
+            .filter(|r| r.contains(vpn))
+    }
+
+    /// Iterates over all regions.
+    pub fn regions(&self) -> impl Iterator<Item = &Region> {
+        self.regions.values()
+    }
+
+    /// The PTE for `vpn`, if mapped.
+    pub fn pte(&self, vpn: u64) -> Option<Pte> {
+        self.ptes.get(&vpn).copied()
+    }
+
+    /// Installs a PTE.
+    pub fn set_pte(&mut self, vpn: u64, pte: Pte) {
+        self.ptes.insert(vpn, pte);
+    }
+
+    /// Removes the PTE for `vpn`, returning it.
+    pub fn clear_pte(&mut self, vpn: u64) -> Option<Pte> {
+        self.ptes.remove(&vpn)
+    }
+
+    /// Updates permissions of an existing PTE; no-op if unmapped.
+    pub fn set_prot(&mut self, vpn: u64, read: bool, write: bool) {
+        if let Some(p) = self.ptes.get_mut(&vpn) {
+            p.read = read;
+            p.write = write;
+        }
+    }
+
+    /// Iterates over all PTEs (vpn, pte).
+    pub fn ptes(&self) -> impl Iterator<Item = (u64, Pte)> + '_ {
+        self.ptes.iter().map(|(&v, &p)| (v, p))
+    }
+
+    /// Enqueues a region on the appropriate cache queue for its mark.
+    pub fn cache_region(&mut self, start_vpn: u64, mark: RegionMark) {
+        match mark {
+            RegionMark::MovedOut => self.moved_out_q.push_back(start_vpn),
+            RegionMark::WeaklyMovedOut => self.weak_out_q.push_back(start_vpn),
+            _ => unreachable!("only moved-out regions are cached"),
+        }
+    }
+
+    /// Dequeues a cached region of exactly `npages` pages with mark
+    /// `mark`, scanning the queue first-fit (paper Section 2.2, region
+    /// caching).
+    pub fn uncache_region(&mut self, npages: u64, mark: RegionMark) -> Option<u64> {
+        let q = match mark {
+            RegionMark::MovedOut => &mut self.moved_out_q,
+            RegionMark::WeaklyMovedOut => &mut self.weak_out_q,
+            _ => return None,
+        };
+        let pos = q.iter().position(|&start| {
+            self.regions
+                .get(&start)
+                .is_some_and(|r| r.npages == npages && r.mark == mark)
+        })?;
+        q.remove(pos)
+    }
+
+    /// Drops a region from the cache queues (used when an application
+    /// removes a cached region out from under the system).
+    pub fn uncache_specific(&mut self, start_vpn: u64) {
+        self.moved_out_q.retain(|&s| s != start_vpn);
+        self.weak_out_q.retain(|&s| s != start_vpn);
+    }
+
+    /// Number of cached regions (both queues).
+    pub fn cached_region_count(&self) -> usize {
+        self.moved_out_q.len() + self.weak_out_q.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ObjectId;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(SpaceId(0))
+    }
+
+    fn region(start: u64, n: u64) -> Region {
+        Region::new(start, n, ObjectId(0), RegionMark::Unmovable)
+    }
+
+    #[test]
+    fn reserve_is_monotonic_with_guard_gaps() {
+        let mut s = space();
+        let a = s.reserve(4);
+        let b = s.reserve(2);
+        assert!(b >= a + 5, "guard gap expected: {a} {b}");
+    }
+
+    #[test]
+    fn overlapping_regions_rejected() {
+        let mut s = space();
+        s.insert_region(region(10, 4)).unwrap();
+        assert_eq!(s.insert_region(region(12, 1)), Err(VmError::BadRange));
+        assert_eq!(s.insert_region(region(8, 3)), Err(VmError::BadRange));
+        assert_eq!(s.insert_region(region(10, 4)), Err(VmError::BadRange));
+        // Adjacent is fine.
+        s.insert_region(region(14, 2)).unwrap();
+        s.insert_region(region(5, 5)).unwrap();
+    }
+
+    #[test]
+    fn empty_region_rejected() {
+        let mut s = space();
+        assert_eq!(s.insert_region(region(10, 0)), Err(VmError::BadRange));
+    }
+
+    #[test]
+    fn region_covering_lookup() {
+        let mut s = space();
+        s.insert_region(region(10, 4)).unwrap();
+        assert!(s.region_covering(9).is_none());
+        assert_eq!(s.region_covering(10).unwrap().start_vpn, 10);
+        assert_eq!(s.region_covering(13).unwrap().start_vpn, 10);
+        assert!(s.region_covering(14).is_none());
+    }
+
+    #[test]
+    fn pte_lifecycle() {
+        let mut s = space();
+        assert!(s.pte(5).is_none());
+        s.set_pte(
+            5,
+            Pte {
+                frame: FrameId(1),
+                read: true,
+                write: true,
+            },
+        );
+        s.set_prot(5, true, false);
+        let p = s.pte(5).unwrap();
+        assert!(p.read && !p.write);
+        assert!(s.clear_pte(5).is_some());
+        assert!(s.pte(5).is_none());
+    }
+
+    #[test]
+    fn region_cache_first_fit_by_size() {
+        let mut s = space();
+        let mut r1 = region(10, 2);
+        r1.mark = RegionMark::MovedOut;
+        let mut r2 = region(20, 4);
+        r2.mark = RegionMark::MovedOut;
+        s.insert_region(r1).unwrap();
+        s.insert_region(r2).unwrap();
+        s.cache_region(10, RegionMark::MovedOut);
+        s.cache_region(20, RegionMark::MovedOut);
+        // Request 4 pages: skips the 2-page region, takes the 4-page one.
+        assert_eq!(s.uncache_region(4, RegionMark::MovedOut), Some(20));
+        assert_eq!(s.uncache_region(4, RegionMark::MovedOut), None);
+        assert_eq!(s.uncache_region(2, RegionMark::MovedOut), Some(10));
+    }
+
+    #[test]
+    fn cache_queues_are_per_mark() {
+        let mut s = space();
+        let mut r1 = region(10, 2);
+        r1.mark = RegionMark::WeaklyMovedOut;
+        s.insert_region(r1).unwrap();
+        s.cache_region(10, RegionMark::WeaklyMovedOut);
+        assert_eq!(s.uncache_region(2, RegionMark::MovedOut), None);
+        assert_eq!(s.uncache_region(2, RegionMark::WeaklyMovedOut), Some(10));
+    }
+
+    #[test]
+    fn uncache_specific_removes_stale_entries() {
+        let mut s = space();
+        let mut r1 = region(10, 2);
+        r1.mark = RegionMark::MovedOut;
+        s.insert_region(r1).unwrap();
+        s.cache_region(10, RegionMark::MovedOut);
+        s.uncache_specific(10);
+        assert_eq!(s.cached_region_count(), 0);
+    }
+}

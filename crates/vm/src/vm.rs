@@ -1,0 +1,1307 @@
+//! The VM subsystem: fault handling, page referencing, page swapping,
+//! wiring, COW, and the region operations behind move emulation.
+
+use genie_mem::{FrameId, IoDir, PhysMem};
+
+use crate::error::VmError;
+use crate::fault::{Access, FaultOutcome};
+use crate::ids::{IoVec, ObjectId, SpaceId};
+use crate::object::MemoryObject;
+use crate::region::{Region, RegionMark};
+use crate::space::{AddressSpace, Pte, RegionHandle};
+
+/// A prepared I/O request: the scatter/gather list produced by page
+/// referencing, plus its direction.
+#[derive(Clone, Debug)]
+pub struct IoDescriptor {
+    /// Scatter/gather elements in buffer order.
+    pub vecs: Vec<IoVec>,
+    /// Direction of the pending I/O.
+    pub dir: IoDir,
+}
+
+impl IoDescriptor {
+    /// Total byte length covered by the descriptor.
+    pub fn len(&self) -> usize {
+        self.vecs.iter().map(|v| v.len).sum()
+    }
+
+    /// True if the descriptor covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Where [`Vm::locate_page`] found a page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PageLoc {
+    /// Resident in a frame.
+    Resident(FrameId),
+    /// Paged out to the owner's backing store.
+    Paged,
+}
+
+/// The simulated VM subsystem of one host.
+#[derive(Clone, Debug)]
+pub struct Vm {
+    /// Physical memory (public: the device/adapter layer DMAs into it).
+    pub phys: PhysMem,
+    objects: Vec<Option<MemoryObject>>,
+    spaces: Vec<AddressSpace>,
+}
+
+impl Vm {
+    /// Creates a VM over the given physical memory.
+    pub fn new(phys: PhysMem) -> Self {
+        Vm {
+            phys,
+            objects: Vec::new(),
+            spaces: Vec::new(),
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.phys.page_size()
+    }
+
+    // ----- spaces and objects -------------------------------------------------
+
+    pub(crate) fn spaces_len(&self) -> usize {
+        self.spaces.len()
+    }
+
+    /// Creates a new (empty) address space.
+    pub fn create_space(&mut self) -> SpaceId {
+        let id = SpaceId(self.spaces.len() as u32);
+        self.spaces.push(AddressSpace::new(id));
+        id
+    }
+
+    /// Shared access to a space.
+    pub fn space(&self, id: SpaceId) -> &AddressSpace {
+        &self.spaces[id.0 as usize]
+    }
+
+    /// Mutable access to a space.
+    pub fn space_mut(&mut self, id: SpaceId) -> &mut AddressSpace {
+        &mut self.spaces[id.0 as usize]
+    }
+
+    /// Creates a new, empty memory object.
+    pub fn create_object(&mut self) -> ObjectId {
+        let id = ObjectId(self.objects.len() as u32);
+        self.objects.push(Some(MemoryObject::new(id)));
+        id
+    }
+
+    /// Shared access to an object (panics on a dangling id — internal
+    /// invariant).
+    pub fn object(&self, id: ObjectId) -> &MemoryObject {
+        self.objects[id.0 as usize]
+            .as_ref()
+            .expect("dangling object id")
+    }
+
+    /// Mutable access to an object.
+    pub fn object_mut(&mut self, id: ObjectId) -> &mut MemoryObject {
+        self.objects[id.0 as usize]
+            .as_mut()
+            .expect("dangling object id")
+    }
+
+    fn object_opt_mut(&mut self, id: ObjectId) -> Option<&mut MemoryObject> {
+        self.objects.get_mut(id.0 as usize).and_then(|o| o.as_mut())
+    }
+
+    /// True if the object still exists.
+    pub fn object_live(&self, id: ObjectId) -> bool {
+        self.objects.get(id.0 as usize).is_some_and(|o| o.is_some())
+    }
+
+    /// Drops one reference to an object; destroys it (deallocating its
+    /// frames with I/O-deferred semantics) when the count reaches zero.
+    pub fn release_object(&mut self, id: ObjectId) {
+        let Some(obj) = self.object_opt_mut(id) else {
+            return;
+        };
+        if obj.drop_external_ref() > 0 {
+            return;
+        }
+        let obj = self.objects[id.0 as usize].take().expect("checked above");
+        for (_, frame) in obj.pages() {
+            // Deallocation is I/O-deferred inside PhysMem.
+            let _ = self.phys.dealloc(frame);
+        }
+        if let Some(shadow) = obj.shadow() {
+            self.release_object(shadow);
+        }
+    }
+
+    // ----- region management --------------------------------------------------
+
+    /// Allocates a region of `npages` fresh pages with the given mark,
+    /// backed by a new empty object (pages are zero-filled on first
+    /// touch).
+    pub fn alloc_region(
+        &mut self,
+        space: SpaceId,
+        npages: u64,
+        mark: RegionMark,
+    ) -> Result<RegionHandle, VmError> {
+        let object = self.create_object();
+        let start_vpn = self.space_mut(space).reserve(npages);
+        let region = Region::new(start_vpn, npages, object, mark);
+        self.space_mut(space).insert_region(region)?;
+        Ok(RegionHandle { space, start_vpn })
+    }
+
+    /// Allocates an unmovable application buffer of `len` bytes and
+    /// returns its starting virtual address.
+    pub fn alloc_app_buffer(&mut self, space: SpaceId, len: usize) -> Result<u64, VmError> {
+        let npages = (len.max(1) as u64).div_ceil(self.page_size() as u64);
+        let h = self.alloc_region(space, npages, RegionMark::Unmovable)?;
+        Ok(h.start_vpn * self.page_size() as u64)
+    }
+
+    /// Removes a region (application- or system-initiated), clearing
+    /// its PTEs and releasing its object. Frames with pending I/O are
+    /// protected by I/O-deferred deallocation.
+    pub fn remove_region(&mut self, handle: RegionHandle) -> Result<(), VmError> {
+        let space = self.space_mut(handle.space);
+        let region = space
+            .remove_region(handle.start_vpn)
+            .ok_or(VmError::NoRegion(handle.start_vpn))?;
+        for vpn in region.start_vpn..region.end_vpn() {
+            space.clear_pte(vpn);
+        }
+        space.uncache_specific(handle.start_vpn);
+        self.release_object(region.object);
+        Ok(())
+    }
+
+    /// The region named by `handle`.
+    pub fn region(&self, handle: RegionHandle) -> Result<&Region, VmError> {
+        self.space(handle.space)
+            .region(handle.start_vpn)
+            .ok_or(VmError::NoRegion(handle.start_vpn))
+    }
+
+    /// Mutable access to the region named by `handle`.
+    pub fn region_mut(&mut self, handle: RegionHandle) -> Result<&mut Region, VmError> {
+        self.space_mut(handle.space)
+            .region_mut(handle.start_vpn)
+            .ok_or(VmError::NoRegion(handle.start_vpn))
+    }
+
+    /// Sets a region's move-state mark.
+    pub fn mark_region(&mut self, handle: RegionHandle, mark: RegionMark) -> Result<(), VmError> {
+        self.region_mut(handle)?.mark = mark;
+        Ok(())
+    }
+
+    /// Handle of the region covering virtual address `vaddr`.
+    pub fn region_at(&self, space: SpaceId, vaddr: u64) -> Result<RegionHandle, VmError> {
+        let vpn = vaddr / self.page_size() as u64;
+        let r = self
+            .space(space)
+            .region_covering(vpn)
+            .ok_or(VmError::NoRegion(vaddr))?;
+        Ok(RegionHandle {
+            space,
+            start_vpn: r.start_vpn,
+        })
+    }
+
+    // ----- fault handling (incl. TCOW and conventional COW) --------------------
+
+    /// Looks up the frame backing object page `idx`, walking the shadow
+    /// chain; returns the owning object and frame. Only considers
+    /// resident pages — use [`Vm::locate_page`] where paged-out content
+    /// must shadow lower levels correctly.
+    fn lookup_page(&self, top: ObjectId, idx: u64) -> Option<(ObjectId, FrameId)> {
+        match self.locate_page(top, idx) {
+            Some((oid, PageLoc::Resident(f))) => Some((oid, f)),
+            _ => None,
+        }
+    }
+
+    /// Locates object page `idx` along the shadow chain, checking each
+    /// level for a resident frame *or paged-out contents* before
+    /// descending: a paged-out page at one level shadows anything
+    /// below it (losing this ordering would resurrect stale pre-COW
+    /// data after pageout).
+    fn locate_page(&self, top: ObjectId, idx: u64) -> Option<(ObjectId, PageLoc)> {
+        let mut cur = Some(top);
+        while let Some(oid) = cur {
+            let obj = self.object(oid);
+            if let Some(f) = obj.page(idx) {
+                return Some((oid, PageLoc::Resident(f)));
+            }
+            if obj.paged(idx).is_some() {
+                return Some((oid, PageLoc::Paged));
+            }
+            cur = obj.shadow();
+        }
+        None
+    }
+
+    /// Brings a paged-out page back into a fresh frame owned by
+    /// `owner`.
+    fn page_in(&mut self, owner: ObjectId, idx: u64) -> Result<FrameId, VmError> {
+        let data = self
+            .object_mut(owner)
+            .take_paged(idx)
+            .expect("caller located paged contents");
+        let frame = self.phys.alloc(Some(u64::from(owner.0)))?;
+        self.phys
+            .frame_mut(frame)?
+            .data_mut()
+            .copy_from_slice(&data);
+        self.object_mut(owner).set_page(idx, frame);
+        Ok(frame)
+    }
+
+    /// Copies the page at `src_frame` into a fresh frame owned by
+    /// `dst_obj` at page `idx`, and maps it at `vpn` with full access.
+    fn copy_page_up(
+        &mut self,
+        space: SpaceId,
+        vpn: u64,
+        dst_obj: ObjectId,
+        idx: u64,
+        src_frame: FrameId,
+    ) -> Result<FrameId, VmError> {
+        let page = self.page_size();
+        let new = self.phys.alloc(Some(u64::from(dst_obj.0)))?;
+        self.phys.copy(src_frame, 0, new, 0, page)?;
+        if let Some(old) = self.object_mut(dst_obj).set_page(idx, new) {
+            // Replacing a top-object page (TCOW): the displaced frame
+            // keeps serving pending output and is freed by the last
+            // unreference (I/O-deferred deallocation).
+            let _ = self.phys.dealloc(old);
+        }
+        self.space_mut(space).set_pte(
+            vpn,
+            Pte {
+                frame: new,
+                read: true,
+                write: true,
+            },
+        );
+        Ok(new)
+    }
+
+    /// Handles a fault at virtual page `vpn` in `space`.
+    ///
+    /// Implements the paper's modified fault processing: recovery is
+    /// only attempted in unmovable or moved-in regions (Section 4,
+    /// region hiding); write faults on pages found in the top object
+    /// take the TCOW paths (Section 5.1); pages found below the top
+    /// take the conventional COW path.
+    pub fn handle_fault(
+        &mut self,
+        space: SpaceId,
+        vpn: u64,
+        access: Access,
+    ) -> Result<FaultOutcome, VmError> {
+        let page_size = self.page_size() as u64;
+        let vaddr = vpn * page_size;
+        let Some(region) = self.space(space).region_covering(vpn) else {
+            return Err(VmError::UnrecoverableFault { vaddr, mark: None });
+        };
+        let mark = region.mark;
+        if !mark.recoverable() {
+            return Err(VmError::UnrecoverableFault {
+                vaddr,
+                mark: Some(mark),
+            });
+        }
+        let writable_region = region.writable;
+        if access == Access::Write && !writable_region {
+            return Err(VmError::ProtectionViolation(vaddr));
+        }
+        let top = region.object;
+        let idx = region.object_page(vpn);
+
+        if let Some(pte) = self.space(space).pte(vpn) {
+            let enough = match access {
+                Access::Read => pte.read,
+                Access::Write => pte.write,
+            };
+            if enough {
+                return Ok(FaultOutcome::NoFault);
+            }
+            if access == Access::Write && pte.read {
+                // Write fault on a readable mapping.
+                if self.object(top).page(idx) == Some(pte.frame) {
+                    // Page in the top object: TCOW (Section 5.1).
+                    let out = self.phys.frame(pte.frame)?.out_count();
+                    if out > 0 {
+                        self.copy_page_up(space, vpn, top, idx, pte.frame)?;
+                        return Ok(FaultOutcome::TcowCopied);
+                    }
+                    self.space_mut(space).set_prot(vpn, true, true);
+                    return Ok(FaultOutcome::WriteEnabled);
+                }
+                // Page below the top object: conventional COW.
+                self.copy_page_up(space, vpn, top, idx, pte.frame)?;
+                return Ok(FaultOutcome::CowCopied);
+            }
+            // A no-access PTE (e.g. left by a previous invalidation in
+            // a now-recoverable region): fall through to the mapping
+            // path below, which rebuilds permissions from the object.
+        }
+
+        // No (usable) PTE: fault the page in. Each chain level is
+        // checked for resident-or-paged content before descending.
+        if let Some((owner, loc)) = self.locate_page(top, idx) {
+            let (frame, paged_in) = match loc {
+                PageLoc::Resident(f) => (f, false),
+                PageLoc::Paged => (self.page_in(owner, idx)?, true),
+            };
+            if owner == top {
+                let out = self.phys.frame(frame)?.out_count();
+                if access == Access::Write && out > 0 {
+                    self.copy_page_up(space, vpn, top, idx, frame)?;
+                    return Ok(FaultOutcome::TcowCopied);
+                }
+                self.space_mut(space).set_pte(
+                    vpn,
+                    Pte {
+                        frame,
+                        read: true,
+                        write: writable_region && out == 0,
+                    },
+                );
+                return Ok(if paged_in {
+                    FaultOutcome::PagedIn
+                } else {
+                    FaultOutcome::Mapped
+                });
+            }
+            // Found below the top: map read-only or copy up.
+            if access == Access::Write {
+                self.copy_page_up(space, vpn, top, idx, frame)?;
+                return Ok(FaultOutcome::CowCopied);
+            }
+            self.space_mut(space).set_pte(
+                vpn,
+                Pte {
+                    frame,
+                    read: true,
+                    write: false,
+                },
+            );
+            return Ok(if paged_in {
+                FaultOutcome::PagedIn
+            } else {
+                FaultOutcome::Mapped
+            });
+        }
+
+        // First touch: zero-fill.
+        let frame = self.phys.alloc_zeroed(Some(u64::from(top.0)))?;
+        self.object_mut(top).set_page(idx, frame);
+        self.space_mut(space).set_pte(
+            vpn,
+            Pte {
+                frame,
+                read: true,
+                write: writable_region,
+            },
+        );
+        Ok(FaultOutcome::ZeroFilled)
+    }
+
+    // ----- application memory access -------------------------------------------
+
+    /// Simulates the application reading `len` bytes at `vaddr`,
+    /// faulting pages in as hardware would.
+    pub fn read_app(
+        &mut self,
+        space: SpaceId,
+        vaddr: u64,
+        len: usize,
+    ) -> Result<(Vec<u8>, Vec<FaultOutcome>), VmError> {
+        let mut out = Vec::with_capacity(len);
+        let mut faults = Vec::new();
+        let page = self.page_size() as u64;
+        let mut addr = vaddr;
+        let end = vaddr + len as u64;
+        while addr < end {
+            let vpn = addr / page;
+            let off = (addr % page) as usize;
+            let chunk = ((page - addr % page) as usize).min((end - addr) as usize);
+            let needs_fault = match self.space(space).pte(vpn) {
+                Some(p) => !p.read,
+                None => true,
+            };
+            if needs_fault {
+                faults.push(self.handle_fault(space, vpn, Access::Read)?);
+            }
+            let frame = self
+                .space(space)
+                .pte(vpn)
+                .expect("mapped after fault")
+                .frame;
+            out.extend_from_slice(self.phys.read(frame, off, chunk)?);
+            addr += chunk as u64;
+        }
+        Ok((out, faults))
+    }
+
+    /// Simulates the application writing `data` at `vaddr`, faulting
+    /// pages (and resolving TCOW/COW) as hardware would.
+    pub fn write_app(
+        &mut self,
+        space: SpaceId,
+        vaddr: u64,
+        data: &[u8],
+    ) -> Result<Vec<FaultOutcome>, VmError> {
+        let mut faults = Vec::new();
+        let page = self.page_size() as u64;
+        let mut addr = vaddr;
+        let end = vaddr + data.len() as u64;
+        let mut src = 0usize;
+        while addr < end {
+            let vpn = addr / page;
+            let off = (addr % page) as usize;
+            let chunk = ((page - addr % page) as usize).min((end - addr) as usize);
+            let needs_fault = match self.space(space).pte(vpn) {
+                Some(p) => !p.write,
+                None => true,
+            };
+            if needs_fault {
+                faults.push(self.handle_fault(space, vpn, Access::Write)?);
+            }
+            let frame = self
+                .space(space)
+                .pte(vpn)
+                .expect("mapped after fault")
+                .frame;
+            self.phys.write(frame, off, &data[src..src + chunk])?;
+            addr += chunk as u64;
+            src += chunk;
+        }
+        Ok(faults)
+    }
+
+    // ----- page referencing (Section 3.1) ---------------------------------------
+
+    /// Prepares an I/O descriptor over `[vaddr, vaddr+len)`: faults
+    /// pages in with the access the device needs (write for input,
+    /// read for output), verifies access rights, and bumps per-frame —
+    /// and, for input, per-object — reference counts.
+    ///
+    /// Returns the descriptor plus the faults taken (so the policy
+    /// layer can charge for COW copies forced by input referencing,
+    /// paper Section 3.3).
+    pub fn reference_pages(
+        &mut self,
+        space: SpaceId,
+        vaddr: u64,
+        len: usize,
+        dir: IoDir,
+    ) -> Result<(IoDescriptor, Vec<FaultOutcome>), VmError> {
+        let mut vecs = Vec::new();
+        let mut faults = Vec::new();
+        let page = self.page_size() as u64;
+        let mut addr = vaddr;
+        let end = vaddr + len as u64;
+        while addr < end {
+            let vpn = addr / page;
+            let off = (addr % page) as usize;
+            let chunk = ((page - addr % page) as usize).min((end - addr) as usize);
+            let access = match dir {
+                IoDir::Input => Access::Write,
+                IoDir::Output => Access::Read,
+            };
+            let needs_fault = match self.space(space).pte(vpn) {
+                Some(p) => match access {
+                    Access::Read => !p.read,
+                    Access::Write => !p.write,
+                },
+                None => true,
+            };
+            if needs_fault {
+                faults.push(self.handle_fault(space, vpn, access)?);
+            }
+            let frame = self
+                .space(space)
+                .pte(vpn)
+                .expect("mapped after fault")
+                .frame;
+            let object = self.space(space).region_covering(vpn).map(|r| r.object);
+            self.phys.ref_io(frame, dir)?;
+            if dir == IoDir::Input {
+                if let Some(oid) = object {
+                    self.object_mut(oid).add_input_ref();
+                }
+            }
+            vecs.push(IoVec {
+                frame,
+                offset: off,
+                len: chunk,
+                object,
+            });
+            addr += chunk as u64;
+        }
+        Ok((IoDescriptor { vecs, dir }, faults))
+    }
+
+    /// Ensures object page `idx` of `top` is resident and safe for the
+    /// given I/O direction, operating at the object level (kernel
+    /// privilege — no user PTE or region-mark checks). Input requires a
+    /// private, writable page: shadow-resident pages are copied up and
+    /// pages with pending output are displaced TCOW-style.
+    fn ensure_object_page(
+        &mut self,
+        top: ObjectId,
+        idx: u64,
+        for_input: bool,
+    ) -> Result<(FrameId, FaultOutcome), VmError> {
+        let page_size = self.page_size();
+        if let Some((owner, loc)) = self.locate_page(top, idx) {
+            let (frame, paged_in) = match loc {
+                PageLoc::Resident(f) => (f, false),
+                PageLoc::Paged => (self.page_in(owner, idx)?, true),
+            };
+            if owner == top {
+                if for_input && self.phys.frame(frame)?.out_count() > 0 {
+                    let new = self.phys.alloc(Some(u64::from(top.0)))?;
+                    self.phys.copy(frame, 0, new, 0, page_size)?;
+                    self.object_mut(top).set_page(idx, new);
+                    let _ = self.phys.dealloc(frame);
+                    return Ok((new, FaultOutcome::TcowCopied));
+                }
+                return Ok((
+                    frame,
+                    if paged_in {
+                        FaultOutcome::PagedIn
+                    } else {
+                        FaultOutcome::NoFault
+                    },
+                ));
+            }
+            // Found below the top object.
+            if for_input {
+                let new = self.phys.alloc(Some(u64::from(top.0)))?;
+                self.phys.copy(frame, 0, new, 0, page_size)?;
+                self.object_mut(top).set_page(idx, new);
+                return Ok((new, FaultOutcome::CowCopied));
+            }
+            return Ok((
+                frame,
+                if paged_in {
+                    FaultOutcome::PagedIn
+                } else {
+                    FaultOutcome::NoFault
+                },
+            ));
+        }
+        let frame = self.phys.alloc_zeroed(Some(u64::from(top.0)))?;
+        self.object_mut(top).set_page(idx, frame);
+        Ok((frame, FaultOutcome::ZeroFilled))
+    }
+
+    /// References the pages backing `[offset, offset+len)` of a
+    /// region, at the object level (kernel privilege). Used for
+    /// system-allocated buffers whose user mappings may be hidden or
+    /// in transit (marks `MovingIn`/`MovedOut`), where PTE-based
+    /// referencing would be refused.
+    ///
+    /// Stale PTEs left by earlier copy-ups are repointed (permission
+    /// bits preserved) so weak-semantics applications keep observing
+    /// the live page.
+    pub fn reference_region_pages(
+        &mut self,
+        handle: RegionHandle,
+        offset: usize,
+        len: usize,
+        dir: IoDir,
+    ) -> Result<(IoDescriptor, Vec<FaultOutcome>), VmError> {
+        let region = self.region(handle)?;
+        let (start_vpn, npages, top, obj_off) = (
+            region.start_vpn,
+            region.npages,
+            region.object,
+            region.object_offset,
+        );
+        let page = self.page_size();
+        if offset + len > npages as usize * page {
+            return Err(VmError::BadRange);
+        }
+        let mut vecs = Vec::new();
+        let mut faults = Vec::new();
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let i = (pos / page) as u64;
+            let off_in_page = pos % page;
+            let chunk = (page - off_in_page).min(end - pos);
+            let (frame, outcome) =
+                self.ensure_object_page(top, obj_off + i, dir == IoDir::Input)?;
+            if outcome.faulted() {
+                faults.push(outcome);
+            }
+            if let Some(p) = self.space(handle.space).pte(start_vpn + i) {
+                if p.frame != frame {
+                    self.space_mut(handle.space)
+                        .set_pte(start_vpn + i, Pte { frame, ..p });
+                }
+            }
+            self.phys.ref_io(frame, dir)?;
+            if dir == IoDir::Input {
+                self.object_mut(top).add_input_ref();
+            }
+            vecs.push(IoVec {
+                frame,
+                offset: off_in_page,
+                len: chunk,
+                object: Some(top),
+            });
+            pos += chunk;
+        }
+        Ok((IoDescriptor { vecs, dir }, faults))
+    }
+
+    /// References kernel-owned frames (system/overlay buffers) for I/O.
+    pub fn reference_frames(
+        &mut self,
+        frames: &[(FrameId, usize, usize)],
+        dir: IoDir,
+    ) -> Result<IoDescriptor, VmError> {
+        let mut vecs = Vec::new();
+        for &(frame, offset, len) in frames {
+            self.phys.ref_io(frame, dir)?;
+            vecs.push(IoVec {
+                frame,
+                offset,
+                len,
+                object: None,
+            });
+        }
+        Ok(IoDescriptor { vecs, dir })
+    }
+
+    /// Releases an I/O descriptor: drops frame counts (freeing zombie
+    /// frames) and per-object input counts.
+    pub fn unreference(&mut self, desc: &IoDescriptor) -> Result<(), VmError> {
+        for v in &desc.vecs {
+            self.phys.unref_io(v.frame, desc.dir)?;
+            if desc.dir == IoDir::Input {
+                if let Some(oid) = v.object {
+                    // The object may have died mid-I/O (region removed
+                    // by the application); that is fine — the frame
+                    // counts already protected the pages.
+                    if let Some(obj) = self.object_opt_mut(oid) {
+                        obj.drop_input_ref();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ----- protection changes (TCOW, region hiding) ------------------------------
+
+    /// Removes write permission from the PTEs covering the range (the
+    /// `read-only` operation of Table 2; the arming half of TCOW).
+    pub fn write_protect(&mut self, space: SpaceId, vaddr: u64, len: usize) {
+        let page = self.page_size() as u64;
+        let first = vaddr / page;
+        let last = (vaddr + len as u64).div_ceil(page);
+        for vpn in first..last {
+            if let Some(p) = self.space(space).pte(vpn) {
+                self.space_mut(space).set_prot(vpn, p.read, false);
+            }
+        }
+    }
+
+    /// Removes all access permissions from a region's PTEs (the
+    /// `invalidate` operation; region hiding keeps the PTEs present so
+    /// reinstatement is cheap).
+    pub fn invalidate_region(&mut self, handle: RegionHandle) -> Result<(), VmError> {
+        let region = self.region(handle)?;
+        let (start, end) = (region.start_vpn, region.end_vpn());
+        for vpn in start..end {
+            if self.space(handle.space).pte(vpn).is_some() {
+                self.space_mut(handle.space).set_prot(vpn, false, false);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reinstates read/write access on a hidden region's PTEs
+    /// (emulated move input dispose).
+    pub fn reinstate_region(&mut self, handle: RegionHandle) -> Result<(), VmError> {
+        let region = self.region(handle)?;
+        let (start, end, writable) = (region.start_vpn, region.end_vpn(), region.writable);
+        for vpn in start..end {
+            if self.space(handle.space).pte(vpn).is_some() {
+                self.space_mut(handle.space).set_prot(vpn, true, writable);
+            }
+        }
+        Ok(())
+    }
+
+    // ----- wiring ----------------------------------------------------------------
+
+    /// Wires a region: ensures every page is resident (kernel
+    /// privilege — works on regions in transit too), installs missing
+    /// PTEs, and pins the region against pageout. Returns the number
+    /// of pages that had to be made resident or mapped.
+    pub fn wire_region(&mut self, handle: RegionHandle) -> Result<u64, VmError> {
+        let region = self.region(handle)?;
+        let (start, npages, top, obj_off, writable) = (
+            region.start_vpn,
+            region.npages,
+            region.object,
+            region.object_offset,
+            region.writable,
+        );
+        let mut faulted = 0;
+        for i in 0..npages {
+            let vpn = start + i;
+            let had_pte = self.space(handle.space).pte(vpn).is_some();
+            let (frame, outcome) = self.ensure_object_page(top, obj_off + i, false)?;
+            if !had_pte {
+                self.space_mut(handle.space).set_pte(
+                    vpn,
+                    Pte {
+                        frame,
+                        read: true,
+                        write: writable,
+                    },
+                );
+            }
+            if !had_pte || outcome.faulted() {
+                faulted += 1;
+            }
+        }
+        self.region_mut(handle)?.wire_count += 1;
+        Ok(faulted)
+    }
+
+    /// Unwires a region.
+    pub fn unwire_region(&mut self, handle: RegionHandle) -> Result<(), VmError> {
+        let r = self.region_mut(handle)?;
+        if r.wire_count == 0 {
+            return Err(VmError::WireUnderflow);
+        }
+        r.wire_count -= 1;
+        Ok(())
+    }
+
+    // ----- page swapping (input alignment, Section 5.2) ---------------------------
+
+    /// Swaps system frame `new_frame` into the page backing `vpn`:
+    /// replaces the object's frame, updates the PTE, and returns the
+    /// displaced frame (deallocated here with I/O-deferred semantics),
+    /// or `None` when the page had never been touched.
+    pub fn swap_page(
+        &mut self,
+        space: SpaceId,
+        vpn: u64,
+        new_frame: FrameId,
+    ) -> Result<Option<FrameId>, VmError> {
+        let region = self
+            .space(space)
+            .region_covering(vpn)
+            .ok_or(VmError::NoRegion(vpn * self.page_size() as u64))?;
+        let top = region.object;
+        let idx = region.object_page(vpn);
+        let writable = region.writable;
+        self.phys
+            .frame_mut(new_frame)?
+            .set_owner(Some(u64::from(top.0)));
+        let old = self.object_mut(top).set_page(idx, new_frame);
+        self.space_mut(space).set_pte(
+            vpn,
+            Pte {
+                frame: new_frame,
+                read: true,
+                write: writable,
+            },
+        );
+        // Swapping into a never-touched page simply installs the new
+        // frame; otherwise the displaced frame is freed (I/O-deferred).
+        if let Some(old) = old {
+            let _ = self.phys.dealloc(old);
+        }
+        Ok(old)
+    }
+
+    // ----- region filling / mapping (move semantics) -------------------------------
+
+    /// Installs `frames` as the object pages of `handle`'s region
+    /// (move-semantics input: "fill region").
+    pub fn fill_region(&mut self, handle: RegionHandle, frames: &[FrameId]) -> Result<(), VmError> {
+        let region = self.region(handle)?;
+        let (object, offset) = (region.object, region.object_offset);
+        debug_assert!(frames.len() as u64 <= region.npages);
+        for (i, &f) in frames.iter().enumerate() {
+            self.phys.frame_mut(f)?.set_owner(Some(u64::from(object.0)));
+            if let Some(old) = self.object_mut(object).set_page(offset + i as u64, f) {
+                let _ = self.phys.dealloc(old);
+            }
+        }
+        Ok(())
+    }
+
+    /// Maps every resident object page of the region into the page
+    /// table (move-semantics input: "map region").
+    pub fn map_region(&mut self, handle: RegionHandle) -> Result<u64, VmError> {
+        let region = self.region(handle)?;
+        let (start, npages, object, offset, writable) = (
+            region.start_vpn,
+            region.npages,
+            region.object,
+            region.object_offset,
+            region.writable,
+        );
+        let mut mapped = 0;
+        for i in 0..npages {
+            if let Some(frame) = self.object(object).page(offset + i) {
+                self.space_mut(handle.space).set_pte(
+                    start + i,
+                    Pte {
+                        frame,
+                        read: true,
+                        write: writable,
+                    },
+                );
+                mapped += 1;
+            }
+        }
+        Ok(mapped)
+    }
+
+    /// Checks that a cached region prepared for input is still intact
+    /// in the application address space (paper Section 6.2.1: the
+    /// application may have removed it, advertently or not).
+    pub fn check_region(&self, handle: RegionHandle, npages: u64) -> bool {
+        self.space(handle.space)
+            .region(handle.start_vpn)
+            .is_some_and(|r| r.npages == npages && self.object_live(r.object))
+    }
+
+    // ----- COW cloning (input-disabled COW, Section 3.3) ----------------------------
+
+    /// Clones `src` region into `dst_space` with copy semantics.
+    ///
+    /// Normally sets up conventional COW via fresh shadow objects; but
+    /// if any object in the source chain has pending input references,
+    /// COW would actually give share semantics (DMA writes bypass write
+    /// faults), so the clone degrades to a physical copy. Returns the
+    /// new region and whether the physical-copy path was taken.
+    pub fn clone_region_cow(
+        &mut self,
+        src: RegionHandle,
+        dst_space: SpaceId,
+    ) -> Result<(RegionHandle, bool), VmError> {
+        let src_region = self.region(src)?;
+        let (npages, src_obj, src_off, start_vpn) = (
+            src_region.npages,
+            src_region.object,
+            src_region.object_offset,
+            src_region.start_vpn,
+        );
+
+        if self.chain_input_refs(src_obj) > 0 {
+            // Input-disabled COW: physical copy.
+            let new_handle = self.alloc_region(dst_space, npages, RegionMark::Unmovable)?;
+            let new_obj = self.region(new_handle)?.object;
+            let page = self.page_size();
+            for i in 0..npages {
+                // Paged-out pages must be copied too (page them in at
+                // their owning level first).
+                if let Some((owner, loc)) = self.locate_page(src_obj, src_off + i) {
+                    let frame = match loc {
+                        PageLoc::Resident(f) => f,
+                        PageLoc::Paged => self.page_in(owner, src_off + i)?,
+                    };
+                    let copy = self.phys.alloc(Some(u64::from(new_obj.0)))?;
+                    self.phys.copy(frame, 0, copy, 0, page)?;
+                    self.object_mut(new_obj).set_page(i, copy);
+                }
+            }
+            return Ok((new_handle, true));
+        }
+
+        // Conventional COW: both sides get fresh shadows over src_obj.
+        let s_src = self.create_object();
+        let s_dst = self.create_object();
+        self.object_mut(s_src).set_shadow(Some(src_obj));
+        self.object_mut(s_dst).set_shadow(Some(src_obj));
+        // src_obj gains one reference (two shadows replace the region's
+        // single direct reference).
+        self.object_mut(src_obj).add_ref();
+        self.region_mut(src)?.object = s_src;
+        // Keep the original object offset visible through the shadow.
+        self.region_mut(src)?.object_offset = src_off;
+
+        let dst_start = self.space_mut(dst_space).reserve(npages);
+        let mut dst_region = Region::new(dst_start, npages, s_dst, RegionMark::Unmovable);
+        dst_region.object_offset = src_off;
+        self.space_mut(dst_space).insert_region(dst_region)?;
+
+        // Demote source write permissions so writes fault and copy up.
+        for vpn in start_vpn..start_vpn + npages {
+            if let Some(p) = self.space(src.space).pte(vpn) {
+                self.space_mut(src.space).set_prot(vpn, p.read, false);
+            }
+        }
+        Ok((
+            RegionHandle {
+                space: dst_space,
+                start_vpn: dst_start,
+            },
+            false,
+        ))
+    }
+
+    /// Sums pending input references along an object's shadow chain.
+    pub fn chain_input_refs(&self, top: ObjectId) -> u32 {
+        let mut total = 0;
+        let mut cur = Some(top);
+        while let Some(oid) = cur {
+            let obj = self.object(oid);
+            total += obj.input_refs();
+            cur = obj.shadow();
+        }
+        total
+    }
+
+    /// Checks structural invariants of the whole VM; returns a list of
+    /// violations (empty when consistent). Used by the property tests.
+    ///
+    /// Invariants:
+    /// 1. every PTE maps a non-free frame;
+    /// 2. every region's top object exists;
+    /// 3. every resident object page is a non-free frame;
+    /// 4. a PTE inside a region maps the frame its object chain
+    ///    resolves to for that page.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for obj in self.objects.iter().flatten() {
+            for (idx, frame) in obj.pages() {
+                match self.phys.frame(frame) {
+                    Ok(f) if f.state() == genie_mem::FrameState::Free => problems.push(format!(
+                        "{:?} page {idx} maps free frame {frame:?}",
+                        obj.id()
+                    )),
+                    Ok(_) => {}
+                    Err(e) => problems.push(format!("{:?} page {idx}: {e}", obj.id())),
+                }
+            }
+        }
+        for space in &self.spaces {
+            for region in space.regions() {
+                if !self.object_live(region.object) {
+                    problems.push(format!(
+                        "region at vpn {} references dead {:?}",
+                        region.start_vpn, region.object
+                    ));
+                    continue;
+                }
+                for vpn in region.start_vpn..region.end_vpn() {
+                    let Some(pte) = space.pte(vpn) else {
+                        continue;
+                    };
+                    match self.phys.frame(pte.frame) {
+                        Ok(f) if f.state() == genie_mem::FrameState::Free => {
+                            problems.push(format!("vpn {vpn} in {:?} maps free frame", space.id()))
+                        }
+                        Ok(_) => {}
+                        Err(e) => problems.push(format!("vpn {vpn}: {e}")),
+                    }
+                    let idx = region.object_page(vpn);
+                    if let Some((_, resolved)) = self.lookup_page(region.object, idx) {
+                        if resolved != pte.frame {
+                            problems.push(format!(
+                                "vpn {vpn} in {:?}: PTE maps {:?} but object chain resolves {:?}",
+                                space.id(),
+                                pte.frame,
+                                resolved
+                            ));
+                        }
+                    } else {
+                        problems.push(format!(
+                            "vpn {vpn} in {:?}: PTE present but no object page",
+                            space.id()
+                        ));
+                    }
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm() -> (Vm, SpaceId) {
+        let mut v = Vm::new(PhysMem::new(4096, 128));
+        let s = v.create_space();
+        (v, s)
+    }
+
+    #[test]
+    fn zero_fill_on_first_touch() {
+        let (mut v, s) = vm();
+        let va = v.alloc_app_buffer(s, 8192).unwrap();
+        let (data, faults) = v.read_app(s, va, 8192).unwrap();
+        assert!(data.iter().all(|&b| b == 0));
+        assert_eq!(faults, vec![FaultOutcome::ZeroFilled; 2]);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let (mut v, s) = vm();
+        let va = v.alloc_app_buffer(s, 10_000).unwrap();
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        v.write_app(s, va + 100, &payload[..5000]).unwrap();
+        let (got, _) = v.read_app(s, va + 100, 5000).unwrap();
+        assert_eq!(got, &payload[..5000]);
+    }
+
+    #[test]
+    fn access_outside_any_region_is_unrecoverable() {
+        let (mut v, s) = vm();
+        let err = v.read_app(s, 0, 1).unwrap_err();
+        assert!(matches!(err, VmError::UnrecoverableFault { .. }));
+    }
+
+    #[test]
+    fn moved_out_region_faults_unrecoverably() {
+        let (mut v, s) = vm();
+        let h = v.alloc_region(s, 2, RegionMark::MovedIn).unwrap();
+        let va = h.start_vpn * 4096;
+        v.write_app(s, va, b"x").unwrap();
+        v.mark_region(h, RegionMark::MovedOut).unwrap();
+        v.invalidate_region(h).unwrap();
+        let err = v.read_app(s, va, 1).unwrap_err();
+        assert_eq!(
+            err,
+            VmError::UnrecoverableFault {
+                vaddr: va,
+                mark: Some(RegionMark::MovedOut)
+            }
+        );
+    }
+
+    #[test]
+    fn region_hiding_reinstates_without_refault() {
+        let (mut v, s) = vm();
+        let h = v.alloc_region(s, 2, RegionMark::MovedIn).unwrap();
+        let va = h.start_vpn * 4096;
+        v.write_app(s, va, b"persistent").unwrap();
+        v.mark_region(h, RegionMark::MovedOut).unwrap();
+        v.invalidate_region(h).unwrap();
+        v.mark_region(h, RegionMark::MovedIn).unwrap();
+        v.reinstate_region(h).unwrap();
+        let (got, faults) = v.read_app(s, va, 10).unwrap();
+        assert_eq!(&got, b"persistent");
+        assert!(faults.is_empty(), "reinstated PTEs must not refault");
+    }
+
+    #[test]
+    fn tcow_write_during_output_copies_page() {
+        let (mut v, s) = vm();
+        let va = v.alloc_app_buffer(s, 4096).unwrap();
+        v.write_app(s, va, b"original").unwrap();
+        // Arm TCOW: reference for output + write-protect.
+        let (desc, _) = v.reference_pages(s, va, 4096, IoDir::Output).unwrap();
+        v.write_protect(s, va, 4096);
+        let out_frame = desc.vecs[0].frame;
+        // Application overwrites during output.
+        let faults = v.write_app(s, va, b"modified").unwrap();
+        assert_eq!(faults, vec![FaultOutcome::TcowCopied]);
+        // The in-flight frame still holds the original data.
+        assert_eq!(v.phys.read(out_frame, 0, 8).unwrap(), b"original");
+        // The application sees its own write.
+        let (got, _) = v.read_app(s, va, 8).unwrap();
+        assert_eq!(&got, b"modified");
+        // Output completes: old frame (displaced, zombie) is freed.
+        let free_before = v.phys.free_frames();
+        v.unreference(&desc).unwrap();
+        assert_eq!(v.phys.free_frames(), free_before + 1);
+    }
+
+    #[test]
+    fn tcow_write_after_output_just_reenables() {
+        let (mut v, s) = vm();
+        let va = v.alloc_app_buffer(s, 4096).unwrap();
+        v.write_app(s, va, b"original").unwrap();
+        let (desc, _) = v.reference_pages(s, va, 4096, IoDir::Output).unwrap();
+        v.write_protect(s, va, 4096);
+        // Output completes before the application writes.
+        v.unreference(&desc).unwrap();
+        let faults = v.write_app(s, va, b"modified").unwrap();
+        assert_eq!(faults, vec![FaultOutcome::WriteEnabled]);
+        let (got, _) = v.read_app(s, va, 8).unwrap();
+        assert_eq!(&got, b"modified");
+    }
+
+    #[test]
+    fn conventional_cow_after_clone() {
+        let (mut v, s1) = vm();
+        let s2 = v.create_space();
+        let va = v.alloc_app_buffer(s1, 8192).unwrap();
+        v.write_app(s1, va, b"shared page contents").unwrap();
+        let h1 = v.region_at(s1, va).unwrap();
+        let (h2, physical) = v.clone_region_cow(h1, s2).unwrap();
+        assert!(!physical, "no pending input: conventional COW expected");
+        let va2 = h2.start_vpn * 4096;
+        // Reader in s2 sees the shared contents without copying.
+        let (got, _) = v.read_app(s2, va2, 20).unwrap();
+        assert_eq!(&got, b"shared page contents");
+        // Writer in s1 triggers a COW copy; s2 still sees old data.
+        let faults = v.write_app(s1, va, b"CHANGED").unwrap();
+        assert!(faults.contains(&FaultOutcome::CowCopied), "{faults:?}");
+        let (got2, _) = v.read_app(s2, va2, 20).unwrap();
+        assert_eq!(&got2, b"shared page contents");
+        let (got1, _) = v.read_app(s1, va, 7).unwrap();
+        assert_eq!(&got1, b"CHANGED");
+    }
+
+    #[test]
+    fn input_disabled_cow_degrades_to_physical_copy() {
+        let (mut v, s1) = vm();
+        let s2 = v.create_space();
+        let va = v.alloc_app_buffer(s1, 4096).unwrap();
+        v.write_app(s1, va, b"before dma").unwrap();
+        // Pending DMA input into the source region.
+        let (desc, _) = v.reference_pages(s1, va, 4096, IoDir::Input).unwrap();
+        let h1 = v.region_at(s1, va).unwrap();
+        let (h2, physical) = v.clone_region_cow(h1, s2).unwrap();
+        assert!(physical, "pending input must force a physical copy");
+        // Simulated DMA lands after the clone.
+        v.phys.write(desc.vecs[0].frame, 0, b"after dma!").unwrap();
+        v.unreference(&desc).unwrap();
+        // The clone must NOT observe the DMA (copy semantics).
+        let (got, _) = v.read_app(s2, h2.start_vpn * 4096, 10).unwrap();
+        assert_eq!(&got, b"before dma");
+        // The original does observe it.
+        let (got1, _) = v.read_app(s1, va, 10).unwrap();
+        assert_eq!(&got1, b"after dma!");
+    }
+
+    #[test]
+    fn input_referencing_forces_private_copy_of_cow_page() {
+        // Paper Section 3.3: COW before in-place input needs no special
+        // handling because input referencing verifies write access,
+        // faulting in a private writable copy.
+        let (mut v, s1) = vm();
+        let s2 = v.create_space();
+        let va = v.alloc_app_buffer(s1, 4096).unwrap();
+        v.write_app(s1, va, b"original").unwrap();
+        let h1 = v.region_at(s1, va).unwrap();
+        let (h2, _) = v.clone_region_cow(h1, s2).unwrap();
+        // Input into the COW source region.
+        let (desc, faults) = v.reference_pages(s1, va, 4096, IoDir::Input).unwrap();
+        assert!(faults.contains(&FaultOutcome::CowCopied), "{faults:?}");
+        v.phys.write(desc.vecs[0].frame, 0, b"dma data").unwrap();
+        v.unreference(&desc).unwrap();
+        // The clone still sees the original data.
+        let (got, _) = v.read_app(s2, h2.start_vpn * 4096, 8).unwrap();
+        assert_eq!(&got, b"original");
+        let (got1, _) = v.read_app(s1, va, 8).unwrap();
+        assert_eq!(&got1, b"dma data");
+    }
+
+    #[test]
+    fn swap_page_replaces_frame_and_frees_old() {
+        let (mut v, s) = vm();
+        let va = v.alloc_app_buffer(s, 4096).unwrap();
+        v.write_app(s, va, b"old app page").unwrap();
+        let sys = v.phys.alloc(None).unwrap();
+        v.phys.write(sys, 0, b"system page!").unwrap();
+        let free_before = v.phys.free_frames();
+        let old = v.swap_page(s, va / 4096, sys).unwrap().expect("displaced");
+        assert_eq!(v.phys.free_frames(), free_before + 1);
+        let (got, faults) = v.read_app(s, va, 12).unwrap();
+        assert_eq!(&got, b"system page!");
+        assert!(faults.is_empty(), "swap must leave a valid mapping");
+        assert_eq!(
+            v.phys.frame(old).unwrap().state(),
+            genie_mem::FrameState::Free
+        );
+    }
+
+    #[test]
+    fn remove_region_with_pending_output_defers_frames() {
+        let (mut v, s) = vm();
+        let va = v.alloc_app_buffer(s, 4096).unwrap();
+        v.write_app(s, va, b"in flight").unwrap();
+        let (desc, _) = v.reference_pages(s, va, 4096, IoDir::Output).unwrap();
+        let frame = desc.vecs[0].frame;
+        let h = v.region_at(s, va).unwrap();
+        // Malicious/unlucky app frees the buffer mid-I/O.
+        v.remove_region(h).unwrap();
+        assert_eq!(
+            v.phys.frame(frame).unwrap().state(),
+            genie_mem::FrameState::Zombie
+        );
+        // Data still intact for the device.
+        assert_eq!(v.phys.read(frame, 0, 9).unwrap(), b"in flight");
+        v.unreference(&desc).unwrap();
+        assert_eq!(
+            v.phys.frame(frame).unwrap().state(),
+            genie_mem::FrameState::Free
+        );
+    }
+
+    #[test]
+    fn wire_unwire_balance_enforced() {
+        let (mut v, s) = vm();
+        let va = v.alloc_app_buffer(s, 8192).unwrap();
+        let h = v.region_at(s, va).unwrap();
+        assert_eq!(v.wire_region(h).unwrap(), 2);
+        assert!(v.region(h).unwrap().is_wired());
+        v.unwire_region(h).unwrap();
+        assert_eq!(v.unwire_region(h), Err(VmError::WireUnderflow));
+    }
+
+    #[test]
+    fn fill_and_map_region_exposes_frames() {
+        let (mut v, s) = vm();
+        let h = v.alloc_region(s, 2, RegionMark::MovingIn).unwrap();
+        let f1 = v.phys.alloc(None).unwrap();
+        let f2 = v.phys.alloc(None).unwrap();
+        v.phys.write(f1, 0, b"page one").unwrap();
+        v.phys.write(f2, 0, b"page two").unwrap();
+        v.fill_region(h, &[f1, f2]).unwrap();
+        assert_eq!(v.map_region(h).unwrap(), 2);
+        v.mark_region(h, RegionMark::MovedIn).unwrap();
+        let (got, faults) = v.read_app(s, h.start_vpn * 4096, 8).unwrap();
+        assert_eq!(&got, b"page one");
+        assert!(faults.is_empty());
+        let (got2, _) = v.read_app(s, (h.start_vpn + 1) * 4096, 8).unwrap();
+        assert_eq!(&got2, b"page two");
+    }
+
+    #[test]
+    fn check_region_detects_removal() {
+        let (mut v, s) = vm();
+        let h = v.alloc_region(s, 3, RegionMark::MovingIn).unwrap();
+        assert!(v.check_region(h, 3));
+        assert!(!v.check_region(h, 2));
+        v.remove_region(h).unwrap();
+        assert!(!v.check_region(h, 3));
+    }
+
+    #[test]
+    fn write_to_readonly_region_rejected() {
+        let (mut v, s) = vm();
+        let va = v.alloc_app_buffer(s, 4096).unwrap();
+        let h = v.region_at(s, va).unwrap();
+        v.region_mut(h).unwrap().writable = false;
+        let err = v.write_app(s, va, b"nope").unwrap_err();
+        assert_eq!(err, VmError::ProtectionViolation(va));
+    }
+}

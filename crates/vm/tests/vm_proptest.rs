@@ -1,0 +1,209 @@
+//! Property tests for the VM substrate: random operation sequences
+//! must preserve structural invariants (checked by `Vm::validate`),
+//! data written by the application, and frame accounting.
+
+use genie_mem::{IoDir, PhysMem};
+use genie_vm::pageout::PageoutPolicy;
+use genie_vm::{IoDescriptor, RegionMark, SpaceId, Vm};
+use proptest::prelude::*;
+
+/// The operations the fuzzer may apply.
+#[derive(Clone, Debug)]
+enum VmOp {
+    Write {
+        buf: usize,
+        off: usize,
+        len: usize,
+        byte: u8,
+    },
+    Read {
+        buf: usize,
+        off: usize,
+        len: usize,
+    },
+    RefOutput {
+        buf: usize,
+    },
+    RefInput {
+        buf: usize,
+    },
+    UnrefOldest,
+    WriteProtect {
+        buf: usize,
+    },
+    Pageout {
+        max: usize,
+    },
+    CloneCow {
+        buf: usize,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = VmOp> {
+    prop_oneof![
+        (0usize..3, 0usize..4000, 1usize..4096, any::<u8>()).prop_map(|(buf, off, len, byte)| {
+            VmOp::Write {
+                buf,
+                off,
+                len,
+                byte,
+            }
+        }),
+        (0usize..3, 0usize..4000, 1usize..4096).prop_map(|(buf, off, len)| VmOp::Read {
+            buf,
+            off,
+            len
+        }),
+        (0usize..3).prop_map(|buf| VmOp::RefOutput { buf }),
+        (0usize..3).prop_map(|buf| VmOp::RefInput { buf }),
+        Just(VmOp::UnrefOldest),
+        (0usize..3).prop_map(|buf| VmOp::WriteProtect { buf }),
+        (1usize..16).prop_map(|max| VmOp::Pageout { max }),
+        (0usize..3).prop_map(|buf| VmOp::CloneCow { buf }),
+    ]
+}
+
+/// Shadow model of one application buffer.
+struct BufModel {
+    vaddr: u64,
+    len: usize,
+    contents: Vec<u8>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary interleavings of writes, reads, I/O referencing,
+    /// pageout, write-protection and COW cloning keep the VM
+    /// structurally consistent and never lose application data.
+    #[test]
+    fn random_op_sequences_preserve_invariants(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let mut vm = Vm::new(PhysMem::new(4096, 512));
+        let space = vm.create_space();
+        let clone_space = vm.create_space();
+        // Three app buffers of two pages each, pre-filled.
+        let mut bufs: Vec<BufModel> = (0..3)
+            .map(|i| {
+                let len = 2 * 4096;
+                let vaddr = vm.alloc_app_buffer(space, len).expect("buffer");
+                let contents = vec![i as u8 + 1; len];
+                vm.write_app(space, vaddr, &contents).expect("fill");
+                BufModel { vaddr, len, contents }
+            })
+            .collect();
+        let mut pending: Vec<IoDescriptor> = Vec::new();
+
+        for op in ops {
+            match op {
+                VmOp::Write { buf, off, len, byte } => {
+                    let b = &mut bufs[buf];
+                    let off = off.min(b.len - 1);
+                    let len = len.min(b.len - off);
+                    let data = vec![byte; len];
+                    vm.write_app(space, b.vaddr + off as u64, &data).expect("write");
+                    b.contents[off..off + len].fill(byte);
+                }
+                VmOp::Read { buf, off, len } => {
+                    let b = &bufs[buf];
+                    let off = off.min(b.len - 1);
+                    let len = len.min(b.len - off);
+                    let (got, _) = vm.read_app(space, b.vaddr + off as u64, len).expect("read");
+                    prop_assert_eq!(&got[..], &b.contents[off..off + len]);
+                }
+                VmOp::RefOutput { buf } => {
+                    let b = &bufs[buf];
+                    let (d, _) = vm
+                        .reference_pages(space, b.vaddr, b.len, IoDir::Output)
+                        .expect("reference");
+                    pending.push(d);
+                }
+                VmOp::RefInput { buf } => {
+                    let b = &bufs[buf];
+                    let (d, _) = vm
+                        .reference_pages(space, b.vaddr, b.len, IoDir::Input)
+                        .expect("reference");
+                    pending.push(d);
+                }
+                VmOp::UnrefOldest => {
+                    if !pending.is_empty() {
+                        let d = pending.remove(0);
+                        vm.unreference(&d).expect("unreference");
+                    }
+                }
+                VmOp::WriteProtect { buf } => {
+                    let b = &bufs[buf];
+                    vm.write_protect(space, b.vaddr, b.len);
+                }
+                VmOp::Pageout { max } => {
+                    vm.pageout_scan(max, PageoutPolicy::InputDisabled).expect("pageout");
+                }
+                VmOp::CloneCow { buf } => {
+                    let b = &bufs[buf];
+                    let h = vm.region_at(space, b.vaddr).expect("region");
+                    let (clone, _physical) =
+                        vm.clone_region_cow(h, clone_space).expect("clone");
+                    // The clone must read identical contents.
+                    let (got, _) = vm
+                        .read_app(clone_space, clone.start_vpn * 4096, b.len)
+                        .expect("clone read");
+                    prop_assert_eq!(&got[..], &b.contents[..]);
+                }
+            }
+            let problems = vm.validate();
+            prop_assert!(problems.is_empty(), "invariants violated: {:?}", problems);
+        }
+
+        // Drain pending I/O and verify all data once more.
+        for d in pending.drain(..) {
+            vm.unreference(&d).expect("unreference");
+        }
+        for b in &bufs {
+            let (got, _) = vm.read_app(space, b.vaddr, b.len).expect("final read");
+            prop_assert_eq!(&got[..], &b.contents[..]);
+        }
+        let problems = vm.validate();
+        prop_assert!(problems.is_empty(), "final invariants violated: {:?}", problems);
+    }
+
+    /// Alternating pageout and access across two spaces sharing COW
+    /// pages never mixes their data.
+    #[test]
+    fn cow_isolation_under_memory_pressure(
+        writes in prop::collection::vec((0usize..8192, any::<u8>()), 1..20),
+    ) {
+        let mut vm = Vm::new(PhysMem::new(4096, 256));
+        let s1 = vm.create_space();
+        let s2 = vm.create_space();
+        let va = vm.alloc_app_buffer(s1, 8192).expect("buffer");
+        let original = vec![0xeeu8; 8192];
+        vm.write_app(s1, va, &original).expect("fill");
+        let h = vm.region_at(s1, va).expect("region");
+        let (clone, physical) = vm.clone_region_cow(h, s2).expect("clone");
+        prop_assert!(!physical);
+        let clone_va = clone.start_vpn * 4096;
+
+        let mut s1_model = original.clone();
+        for (off, byte) in writes {
+            vm.write_app(s1, va + off as u64, &[byte]).expect("cow write");
+            s1_model[off] = byte;
+            vm.pageout_scan(4, PageoutPolicy::InputDisabled).expect("pressure");
+            let problems = vm.validate();
+            prop_assert!(problems.is_empty(), "{:?}", problems);
+        }
+        let (got1, _) = vm.read_app(s1, va, 8192).expect("s1");
+        let (got2, _) = vm.read_app(s2, clone_va, 8192).expect("s2");
+        prop_assert_eq!(got1, s1_model);
+        prop_assert_eq!(got2, original);
+    }
+}
+
+#[test]
+fn validate_reports_clean_fresh_vm() {
+    let mut vm = Vm::new(PhysMem::new(4096, 16));
+    let s = vm.create_space();
+    let va = vm.alloc_app_buffer(s, 4096).expect("buffer");
+    vm.write_app(s, va, b"x").expect("write");
+    assert!(vm.validate().is_empty());
+    let _ = SpaceId(0);
+    let _ = RegionMark::MovedIn;
+}

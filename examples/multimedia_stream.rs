@@ -1,0 +1,95 @@
+//! Multimedia streaming: one of the I/O-intensive applications the
+//! paper's introduction motivates.
+//!
+//! A video server streams 24 frames (~56 KB each — a page multiple)
+//! to a client, once with classic copy semantics and once with
+//! emulated copy. The example reports per-frame latency, equivalent
+//! throughput, and the CPU time the stream leaves for the decoder —
+//! the paper's Figure 4 point: copy semantics starves the application.
+//!
+//! Run with: `cargo run --example multimedia_stream`
+
+use genie::{throughput_mbps, HostId, InputRequest, OutputRequest, Semantics, World, WorldConfig};
+use genie_machine::SimTime;
+use genie_net::Vc;
+
+const FRAME_BYTES: usize = 14 * 4096; // 56 KB, a page multiple
+const FRAMES: usize = 24;
+
+fn stream(semantics: Semantics) -> (SimTime, f64, f64) {
+    let mut world = World::new(WorldConfig::default());
+    let server = world.create_process(HostId::A);
+    let client = world.create_process(HostId::B);
+
+    let src = world
+        .alloc_buffer(HostId::A, server, FRAME_BYTES, 0)
+        .expect("frame buffer");
+    let dst = world
+        .alloc_buffer(HostId::B, client, FRAME_BYTES, 0)
+        .expect("client buffer");
+
+    let mut total_latency = SimTime::ZERO;
+    let t0 = world.now();
+    let busy0 = world.host(HostId::B).ledger.busy();
+    for frame_no in 0..FRAMES {
+        // Per-frame latency, not queueing: wait for the wire to drain.
+        world.quiesce();
+        // Synthesize a frame (in reality: decoder output / disk read).
+        let frame: Vec<u8> = (0..FRAME_BYTES)
+            .map(|i| ((i + frame_no * 7) % 251) as u8)
+            .collect();
+        world
+            .app_write(HostId::A, server, src, &frame)
+            .expect("fill frame");
+        world
+            .input(
+                HostId::B,
+                InputRequest::app(semantics, Vc(1), client, dst, FRAME_BYTES),
+            )
+            .expect("prepost");
+        world
+            .output(
+                HostId::A,
+                OutputRequest::new(semantics, Vc(1), server, src, FRAME_BYTES),
+            )
+            .expect("send frame");
+        world.run();
+        let done = world.take_completed_inputs();
+        let c = done.first().expect("frame delivered");
+        total_latency += c.latency;
+        let got = world
+            .read_app(HostId::B, client, c.vaddr, c.len)
+            .expect("read frame");
+        assert_eq!(got, frame, "frame corrupted");
+    }
+    let elapsed = world.now() - t0;
+    let busy = world.host(HostId::B).ledger.busy() - busy0;
+    let per_frame = total_latency / FRAMES as u64;
+    let tput = throughput_mbps(FRAME_BYTES, per_frame);
+    let cpu_left = 1.0 - busy.as_us() / elapsed.as_us();
+    (per_frame, tput, cpu_left)
+}
+
+fn main() {
+    println!("streaming {FRAMES} frames of {FRAME_BYTES} bytes over OC-3\n");
+    println!(
+        "{:<16} {:>14} {:>14} {:>22}",
+        "semantics", "latency/frame", "throughput", "CPU left for decoder"
+    );
+    for semantics in [
+        Semantics::Copy,
+        Semantics::EmulatedCopy,
+        Semantics::EmulatedShare,
+    ] {
+        let (latency, tput, cpu_left) = stream(semantics);
+        println!(
+            "{:<16} {:>11.0} us {:>9.0} Mbps {:>21.1}%",
+            semantics.label(),
+            latency.as_us(),
+            tput,
+            cpu_left * 100.0
+        );
+    }
+    println!("\nemulated copy uses the same API as copy — no application changes —");
+    println!("yet streams faster and leaves more CPU for decoding (paper Figs. 3-4).");
+}

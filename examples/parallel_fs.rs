@@ -1,0 +1,107 @@
+//! Parallel file system block service: the system-allocated API.
+//!
+//! A block server ships 16 KB blocks of a simulated file to a client.
+//! The client uses the V-style, system-allocated API: it does not name
+//! a buffer — the system returns the location of each block — and it
+//! recycles received regions back to the region cache (emulated move /
+//! emulated weak move), so steady-state transfers allocate nothing.
+//!
+//! Run with: `cargo run --example parallel_fs`
+
+use genie::{HostId, InputRequest, OutputRequest, Semantics, World, WorldConfig};
+use genie_machine::SimTime;
+use genie_net::Vc;
+
+const BLOCK: usize = 4 * 4096; // 16 KB blocks
+const BLOCKS: usize = 16;
+
+/// The simulated on-"disk" contents of block `i`.
+fn disk_block(i: usize) -> Vec<u8> {
+    (0..BLOCK)
+        .map(|j| ((i * 131 + j * 7) % 256) as u8)
+        .collect()
+}
+
+fn serve_file(semantics: Semantics) -> (SimTime, u64) {
+    let mut world = World::new(WorldConfig::default());
+    let server = world.create_process(HostId::A);
+    let client = world.create_process(HostId::B);
+
+    let mut total = SimTime::ZERO;
+    let mut checksum = 0u64;
+    for i in 0..BLOCKS {
+        // Measure isolated per-block latency: let the wire drain and
+        // both hosts go idle before the next request.
+        world.quiesce();
+        // Client requests block i (request path elided) and preposts a
+        // system-allocated input: no buffer named.
+        world
+            .input(
+                HostId::B,
+                InputRequest::system(semantics, Vc(1), client, BLOCK),
+            )
+            .expect("prepost");
+
+        // Server "reads the block from disk" into a fresh moved-in
+        // I/O region and moves it out to the network.
+        let (_region, src) = world
+            .host_mut(HostId::A)
+            .alloc_io_buffer(server, BLOCK)
+            .expect("io buffer");
+        world
+            .app_write(HostId::A, server, src, &disk_block(i))
+            .expect("disk read");
+        world
+            .output(
+                HostId::A,
+                OutputRequest::new(semantics, Vc(1), server, src, BLOCK),
+            )
+            .expect("ship block");
+        world.run();
+
+        let done = world.take_completed_inputs();
+        let c = done.first().expect("block delivered");
+        total += c.latency;
+        // The system told the client where the data is.
+        let data = world
+            .read_app(HostId::B, client, c.vaddr, c.len)
+            .expect("read block");
+        assert_eq!(data, disk_block(i), "block {i} corrupted");
+        for b in &data {
+            checksum = checksum.wrapping_mul(31).wrapping_add(u64::from(*b));
+        }
+        // Client consumed the block: recycle the region so the next
+        // input reuses it from the region cache.
+        if let Some(region) = c.region {
+            world
+                .release_input_region(HostId::B, region, semantics)
+                .expect("recycle");
+        }
+    }
+    (total / BLOCKS as u64, checksum)
+}
+
+fn main() {
+    println!("block server: {BLOCKS} blocks of {BLOCK} bytes, system-allocated API\n");
+    let mut reference = None;
+    for semantics in [
+        Semantics::Move,
+        Semantics::EmulatedMove,
+        Semantics::WeakMove,
+        Semantics::EmulatedWeakMove,
+    ] {
+        let (latency, checksum) = serve_file(semantics);
+        match &reference {
+            Some(r) => assert_eq!(*r, checksum, "{semantics} delivered different data"),
+            None => reference = Some(checksum),
+        }
+        println!(
+            "{:<20} {:>8.0} us per block   (file checksum {checksum:#018x})",
+            semantics.label(),
+            latency.as_us(),
+        );
+    }
+    println!("\nthe emulated variants skip wiring (input-disabled pageout) and, for");
+    println!("emulated move, region create/remove (region hiding) — the paper's");
+    println!("Section 4 — so they beat their basic counterparts block after block.");
+}

@@ -1,0 +1,29 @@
+//! Umbrella crate for the Genie reproduction of *Effects of Buffering
+//! Semantics on I/O Performance* (Brustoloni & Steenkiste, OSDI '96).
+//!
+//! Re-exports the whole workspace:
+//!
+//! - [`machine`]: simulated time, platform specs (Table 5), the
+//!   Table 6 / Section 8 cost model, and cost accounting.
+//! - [`mem`]: physical frames with page referencing and I/O-deferred
+//!   deallocation (Section 3.1).
+//! - [`vm`]: the Mach-style VM substrate — regions, memory objects,
+//!   faults, TCOW, input-disabled pageout and COW, region
+//!   caching/hiding (Sections 3–5).
+//! - [`net`]: the Credit Net ATM substrate — AAL5, credits, DMA, and
+//!   the three input-buffering architectures (Section 6.2).
+//! - [`genie`]: the I/O framework itself — the taxonomy, the
+//!   output/input data paths of Tables 2–4, and experiment drivers.
+//! - [`analysis`]: fits, the latency breakdown model (Table 7) and
+//!   the scaling model (Table 8, OC-12).
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use genie_analysis as analysis;
+pub use genie_machine as machine;
+pub use genie_mem as mem;
+pub use genie_net as net;
+pub use genie_vm as vm;
+
+pub use genie;

@@ -1,0 +1,330 @@
+//! Integrity-guarantee tests (paper Section 2.2): the promises each
+//! semantics makes are checked against real bytes moving through the
+//! simulated stack — including the promises the weak semantics
+//! deliberately do NOT make.
+
+use genie::{GenieError, HostId, InputRequest, OutputRequest, Semantics, World, WorldConfig};
+use genie_net::Vc;
+use genie_vm::{RegionMark, VmError};
+
+const LEN: usize = 8192;
+
+struct Rig {
+    world: World,
+    tx: genie_vm::SpaceId,
+    rx: genie_vm::SpaceId,
+    src: u64,
+    dst: u64,
+}
+
+/// Builds a world with sender/receiver processes and app buffers, and
+/// preposts one input.
+fn rig(semantics: Semantics) -> Rig {
+    let mut world = World::new(WorldConfig::default());
+    let tx = world.create_process(HostId::A);
+    let rx = world.create_process(HostId::B);
+    let src = world.alloc_buffer(HostId::A, tx, LEN, 0).expect("src");
+    let dst = world.alloc_buffer(HostId::B, rx, LEN, 0).expect("dst");
+    world
+        .input(HostId::B, InputRequest::app(semantics, Vc(1), rx, dst, LEN))
+        .expect("prepost");
+    Rig {
+        world,
+        tx,
+        rx,
+        src,
+        dst,
+    }
+}
+
+fn pattern(tag: u8) -> Vec<u8> {
+    (0..LEN)
+        .map(|i| (i as u8).wrapping_mul(3).wrapping_add(tag))
+        .collect()
+}
+
+/// Strong-integrity output: overwriting after `output()` returns must
+/// not change what the receiver gets.
+fn overwrite_after_output(semantics: Semantics) -> Vec<u8> {
+    let mut r = rig(semantics);
+    let original = pattern(1);
+    r.world
+        .app_write(HostId::A, r.tx, r.src, &original)
+        .expect("fill");
+    r.world
+        .output(
+            HostId::A,
+            OutputRequest::new(semantics, Vc(1), r.tx, r.src, LEN),
+        )
+        .expect("output");
+    // The application overwrites its buffer while the datagram is
+    // "in flight" (DMA has not yet read memory).
+    r.world
+        .app_write(HostId::A, r.tx, r.src, &pattern(2))
+        .expect("overwrite");
+    r.world.run();
+    let done = r.world.take_completed_inputs();
+    let c = done.first().expect("delivered");
+    r.world
+        .read_app(HostId::B, r.rx, c.vaddr, c.len)
+        .expect("read")
+}
+
+#[test]
+fn copy_semantics_is_immune_to_overwrite() {
+    assert_eq!(overwrite_after_output(Semantics::Copy), pattern(1));
+}
+
+#[test]
+fn emulated_copy_is_immune_to_overwrite_via_tcow() {
+    assert_eq!(overwrite_after_output(Semantics::EmulatedCopy), pattern(1));
+}
+
+#[test]
+fn share_semantics_lets_overwrite_corrupt_the_transfer() {
+    // Weak integrity, demonstrated: the receiver observes the
+    // overwritten data because DMA reads the shared pages directly.
+    assert_eq!(overwrite_after_output(Semantics::Share), pattern(2));
+}
+
+#[test]
+fn emulated_share_is_equally_weak() {
+    assert_eq!(overwrite_after_output(Semantics::EmulatedShare), pattern(2));
+}
+
+#[test]
+fn emulated_copy_overwrite_lands_locally_despite_protection() {
+    // TCOW must not merely protect the transfer: the application's own
+    // write must succeed and be visible to itself.
+    let mut r = rig(Semantics::EmulatedCopy);
+    r.world
+        .app_write(HostId::A, r.tx, r.src, &pattern(1))
+        .expect("fill");
+    r.world
+        .output(
+            HostId::A,
+            OutputRequest::new(Semantics::EmulatedCopy, Vc(1), r.tx, r.src, LEN),
+        )
+        .expect("output");
+    r.world
+        .app_write(HostId::A, r.tx, r.src, &pattern(9))
+        .expect("overwrite");
+    let local = r
+        .world
+        .read_app(HostId::A, r.tx, r.src, LEN)
+        .expect("local read");
+    assert_eq!(local, pattern(9));
+    r.world.run();
+}
+
+#[test]
+fn move_output_unmaps_the_buffer() {
+    let mut world = World::new(WorldConfig::default());
+    let tx = world.create_process(HostId::A);
+    let rx = world.create_process(HostId::B);
+    world
+        .input(
+            HostId::B,
+            InputRequest::system(Semantics::Move, Vc(1), rx, LEN),
+        )
+        .expect("prepost");
+    let (_region, src) = world
+        .host_mut(HostId::A)
+        .alloc_io_buffer(tx, LEN)
+        .expect("io buffer");
+    world
+        .app_write(HostId::A, tx, src, &pattern(3))
+        .expect("fill");
+    world
+        .output(
+            HostId::A,
+            OutputRequest::new(Semantics::Move, Vc(1), tx, src, LEN),
+        )
+        .expect("output");
+    world.run();
+    // After move output the region is gone: access is an unrecoverable
+    // fault, like dereferencing unmapped memory.
+    let err = world.read_app(HostId::A, tx, src, 1).unwrap_err();
+    assert!(
+        matches!(err, GenieError::Vm(VmError::UnrecoverableFault { .. })),
+        "{err:?}"
+    );
+    // And the receiver got the data in a fresh moved-in region.
+    let done = world.take_completed_inputs();
+    let c = done.first().expect("delivered");
+    assert_eq!(
+        world.read_app(HostId::B, rx, c.vaddr, c.len).expect("read"),
+        pattern(3)
+    );
+    let region = c.region.expect("system-allocated");
+    assert_eq!(
+        world
+            .host(HostId::B)
+            .vm
+            .region(region)
+            .expect("region")
+            .mark,
+        RegionMark::MovedIn
+    );
+}
+
+#[test]
+fn emulated_move_hides_rather_than_removes() {
+    let mut world = World::new(WorldConfig::default());
+    let tx = world.create_process(HostId::A);
+    let rx = world.create_process(HostId::B);
+    world
+        .input(
+            HostId::B,
+            InputRequest::system(Semantics::EmulatedMove, Vc(1), rx, LEN),
+        )
+        .expect("prepost");
+    let (region, src) = world
+        .host_mut(HostId::A)
+        .alloc_io_buffer(tx, LEN)
+        .expect("io buffer");
+    world
+        .app_write(HostId::A, tx, src, &pattern(4))
+        .expect("fill");
+    world
+        .output(
+            HostId::A,
+            OutputRequest::new(Semantics::EmulatedMove, Vc(1), tx, src, LEN),
+        )
+        .expect("output");
+    world.run();
+    // Application access faults unrecoverably, exactly as if removed...
+    let err = world.read_app(HostId::A, tx, src, 1).unwrap_err();
+    assert!(matches!(
+        err,
+        GenieError::Vm(VmError::UnrecoverableFault {
+            mark: Some(RegionMark::MovedOut),
+            ..
+        })
+    ));
+    // ...but the region still exists, cached for reuse.
+    assert!(world.host(HostId::A).vm.region(region).is_ok());
+    assert_eq!(
+        world
+            .host(HostId::A)
+            .vm
+            .space(region.space)
+            .cached_region_count(),
+        1
+    );
+}
+
+#[test]
+fn weak_move_output_buffer_stays_mapped_but_indeterminate() {
+    let mut world = World::new(WorldConfig::default());
+    let tx = world.create_process(HostId::A);
+    let rx = world.create_process(HostId::B);
+    world
+        .input(
+            HostId::B,
+            InputRequest::system(Semantics::WeakMove, Vc(1), rx, LEN),
+        )
+        .expect("prepost");
+    let (_region, src) = world
+        .host_mut(HostId::A)
+        .alloc_io_buffer(tx, LEN)
+        .expect("io buffer");
+    world
+        .app_write(HostId::A, tx, src, &pattern(5))
+        .expect("fill");
+    world
+        .output(
+            HostId::A,
+            OutputRequest::new(Semantics::WeakMove, Vc(1), tx, src, LEN),
+        )
+        .expect("output");
+    world.run();
+    // Weak move: reading the weakly-moved-out buffer still works (the
+    // mapping survives) — the application merely should not rely on
+    // the contents.
+    let data = world.read_app(HostId::A, tx, src, LEN).expect("mapped");
+    assert_eq!(data.len(), LEN);
+}
+
+#[test]
+fn move_input_zero_completes_partial_pages() {
+    // Protection (Table 3): the unused tail of a moved-in system page
+    // must never leak another process's data.
+    let len = 5000usize; // partial last page
+    let mut world = World::new(WorldConfig::default());
+    let tx = world.create_process(HostId::A);
+    let rx = world.create_process(HostId::B);
+    world
+        .input(
+            HostId::B,
+            InputRequest::system(Semantics::Move, Vc(1), rx, len),
+        )
+        .expect("prepost");
+    let (_r, src) = world
+        .host_mut(HostId::A)
+        .alloc_io_buffer(tx, len)
+        .expect("io buffer");
+    world
+        .app_write(HostId::A, tx, src, &vec![0xaau8; len])
+        .expect("fill");
+    world
+        .output(
+            HostId::A,
+            OutputRequest::new(Semantics::Move, Vc(1), tx, src, len),
+        )
+        .expect("output");
+    world.run();
+    let done = world.take_completed_inputs();
+    let c = done.first().expect("delivered");
+    let region = c.region.expect("region");
+    let page = world.host(HostId::B).page_size();
+    let npages = world.host(HostId::B).vm.region(region).expect("r").npages as usize;
+    // Read the whole region including the tail beyond the data.
+    let whole = world
+        .read_app(HostId::B, rx, region.start_vpn * page as u64, npages * page)
+        .expect("read region");
+    let data_off = (c.vaddr - region.start_vpn * page as u64) as usize;
+    assert!(whole[data_off..data_off + len].iter().all(|&b| b == 0xaa));
+    assert!(
+        whole[data_off + len..].iter().all(|&b| b == 0),
+        "unused tail must be zeroed, not leak previous frame contents"
+    );
+}
+
+#[test]
+fn incomplete_input_is_never_observable_with_strong_semantics() {
+    // With copy/emulated-copy input the application buffer keeps its
+    // old contents until dispose completes — there is no window where
+    // it holds a partial datagram. We check the buffer right before
+    // running the event loop (data "in flight").
+    for semantics in [Semantics::Copy, Semantics::EmulatedCopy] {
+        let mut r = rig(semantics);
+        let old = pattern(7);
+        r.world
+            .app_write(HostId::B, r.rx, r.dst, &old)
+            .expect("pre-fill dst");
+        r.world
+            .app_write(HostId::A, r.tx, r.src, &pattern(8))
+            .expect("fill src");
+        r.world
+            .output(
+                HostId::A,
+                OutputRequest::new(semantics, Vc(1), r.tx, r.src, LEN),
+            )
+            .expect("output");
+        // In flight: the receiver still sees its old bytes.
+        let before = r
+            .world
+            .read_app(HostId::B, r.rx, r.dst, LEN)
+            .expect("read dst");
+        assert_eq!(before, old, "{semantics}: partial input observable");
+        r.world.run();
+        let done = r.world.take_completed_inputs();
+        let c = done.first().expect("delivered");
+        let after = r
+            .world
+            .read_app(HostId::B, r.rx, c.vaddr, c.len)
+            .expect("read");
+        assert_eq!(after, pattern(8));
+    }
+}

@@ -1,0 +1,353 @@
+//! Failure injection: the safety mechanisms of the paper's Section 3
+//! under hostile or unlucky application behaviour, exercised through
+//! the full stack.
+
+use genie::{HostId, InputRequest, OutputRequest, Semantics, World, WorldConfig};
+use genie_net::Vc;
+use genie_vm::pageout::PageoutPolicy;
+use genie_vm::RegionMark;
+
+const LEN: usize = 8192;
+
+#[test]
+fn freeing_the_output_buffer_mid_io_cannot_leak_into_other_processes() {
+    // I/O-deferred page deallocation (Section 3.1): a malicious app
+    // frees its buffer while output is in flight; the frames must not
+    // be handed to another process until the DMA drops its references.
+    let mut world = World::new(WorldConfig::default());
+    let tx = world.create_process(HostId::A);
+    let rx = world.create_process(HostId::B);
+    let victim = world.create_process(HostId::A);
+    let src = world.alloc_buffer(HostId::A, tx, LEN, 0).expect("src");
+    let dst = world.alloc_buffer(HostId::B, rx, LEN, 0).expect("dst");
+    let secret = vec![0x5eu8; LEN];
+    world.app_write(HostId::A, tx, src, &secret).expect("fill");
+    world
+        .input(
+            HostId::B,
+            InputRequest::app(Semantics::EmulatedShare, Vc(1), rx, dst, LEN),
+        )
+        .expect("prepost");
+    world
+        .output(
+            HostId::A,
+            OutputRequest::new(Semantics::EmulatedShare, Vc(1), tx, src, LEN),
+        )
+        .expect("output");
+
+    // The app frees the buffer while the DMA still references it.
+    let region = world.host(HostId::A).vm.region_at(tx, src).expect("region");
+    world
+        .host_mut(HostId::A)
+        .vm
+        .remove_region(region)
+        .expect("app frees buffer");
+    let deferred = world.host(HostId::A).vm.phys.deferred_free_count();
+    assert!(deferred >= 2, "frames must be parked, not freed");
+
+    // A victim process allocates and scribbles; it must never receive
+    // the in-flight frames.
+    let victim_buf = world
+        .alloc_buffer(HostId::A, victim, 16 * 4096, 0)
+        .expect("victim buffer");
+    world
+        .app_write(HostId::A, victim, victim_buf, &vec![0xffu8; 16 * 4096])
+        .expect("scribble");
+
+    world.run();
+    let done = world.take_completed_inputs();
+    let c = done.first().expect("delivered");
+    let got = world.read_app(HostId::B, rx, c.vaddr, c.len).expect("read");
+    assert_eq!(got, secret, "victim writes leaked into the transfer");
+}
+
+#[test]
+fn removing_a_cached_region_mid_input_is_recovered_by_remapping() {
+    // Section 6.2.1: if the application removes the cached region used
+    // for input, Genie maps the pages to a new region so the returned
+    // location is valid.
+    let mut world = World::new(WorldConfig::default());
+    let tx = world.create_process(HostId::A);
+    let rx = world.create_process(HostId::B);
+    world
+        .input(
+            HostId::B,
+            InputRequest::system(Semantics::EmulatedWeakMove, Vc(1), rx, LEN),
+        )
+        .expect("prepost");
+    // The application (advertently or not) removes the region that was
+    // prepared for the input.
+    let prepared: Vec<_> = world
+        .host(HostId::B)
+        .vm
+        .space(rx)
+        .regions()
+        .map(|r| r.start_vpn)
+        .collect();
+    assert_eq!(prepared.len(), 1);
+    let handle = genie_vm::RegionHandle {
+        space: rx,
+        start_vpn: prepared[0],
+    };
+    world
+        .host_mut(HostId::B)
+        .vm
+        .remove_region(handle)
+        .expect("app removes region");
+
+    let (_r, src) = world
+        .host_mut(HostId::A)
+        .alloc_io_buffer(tx, LEN)
+        .expect("send buffer");
+    let data = vec![0x42u8; LEN];
+    world.app_write(HostId::A, tx, src, &data).expect("fill");
+    world
+        .output(
+            HostId::A,
+            OutputRequest::new(Semantics::EmulatedWeakMove, Vc(1), tx, src, LEN),
+        )
+        .expect("output");
+    world.run();
+    let done = world.take_completed_inputs();
+    let c = done.first().expect("completion still delivered");
+    let got = world
+        .read_app(HostId::B, rx, c.vaddr, c.len)
+        .expect("location must be valid");
+    assert_eq!(got, data);
+}
+
+#[test]
+fn pageout_during_pending_output_stays_consistent() {
+    // Input-disabled pageout allows paging out pages with pending
+    // output; the transfer and the application view must both survive.
+    let mut world = World::new(WorldConfig::default());
+    let tx = world.create_process(HostId::A);
+    let rx = world.create_process(HostId::B);
+    let src = world.alloc_buffer(HostId::A, tx, LEN, 0).expect("src");
+    let dst = world.alloc_buffer(HostId::B, rx, LEN, 0).expect("dst");
+    let data = vec![0x77u8; LEN];
+    world.app_write(HostId::A, tx, src, &data).expect("fill");
+    world
+        .input(
+            HostId::B,
+            InputRequest::app(Semantics::EmulatedCopy, Vc(1), rx, dst, LEN),
+        )
+        .expect("prepost");
+    world
+        .output(
+            HostId::A,
+            OutputRequest::new(Semantics::EmulatedCopy, Vc(1), tx, src, LEN),
+        )
+        .expect("output");
+    // Memory pressure: the daemon sweeps everything it may.
+    let stats = world
+        .host_mut(HostId::A)
+        .vm
+        .pageout_scan(1024, PageoutPolicy::InputDisabled)
+        .expect("pageout");
+    assert!(stats.paged_out >= 2, "output pages should be pageable");
+    world.run();
+    let done = world.take_completed_inputs();
+    let c = done.first().expect("delivered");
+    assert_eq!(
+        world.read_app(HostId::B, rx, c.vaddr, c.len).expect("read"),
+        data
+    );
+    // And the sender can still read its own buffer back (page-in).
+    assert_eq!(
+        world.read_app(HostId::A, tx, src, LEN).expect("page-in"),
+        data
+    );
+}
+
+#[test]
+fn pageout_never_touches_pending_input_pages() {
+    let mut world = World::new(WorldConfig::default());
+    let rx = world.create_process(HostId::B);
+    let dst = world.alloc_buffer(HostId::B, rx, LEN, 0).expect("dst");
+    world
+        .input(
+            HostId::B,
+            InputRequest::app(Semantics::EmulatedShare, Vc(1), rx, dst, LEN),
+        )
+        .expect("prepost");
+    let stats = world
+        .host_mut(HostId::B)
+        .vm
+        .pageout_scan(1024, PageoutPolicy::InputDisabled)
+        .expect("pageout");
+    assert_eq!(stats.paged_out, 0);
+    assert_eq!(stats.skipped_input_referenced, LEN / 4096);
+}
+
+#[test]
+fn region_cache_reuse_does_not_leak_stale_data() {
+    // A weakly-moved-out region's frames get reused for the next
+    // input; the new datagram must fully replace what the application
+    // could observe at the returned location.
+    let mut world = World::new(WorldConfig::default());
+    let tx = world.create_process(HostId::A);
+    let rx = world.create_process(HostId::B);
+    let mut last_region = None;
+    for round in 0..3u8 {
+        world
+            .input(
+                HostId::B,
+                InputRequest::system(Semantics::EmulatedWeakMove, Vc(1), rx, LEN),
+            )
+            .expect("prepost");
+        let (_r, src) = world
+            .host_mut(HostId::A)
+            .alloc_io_buffer(tx, LEN)
+            .expect("send buffer");
+        let data = vec![round.wrapping_mul(37).wrapping_add(1); LEN];
+        world.app_write(HostId::A, tx, src, &data).expect("fill");
+        world
+            .output(
+                HostId::A,
+                OutputRequest::new(Semantics::EmulatedWeakMove, Vc(1), tx, src, LEN),
+            )
+            .expect("output");
+        world.run();
+        let done = world.take_completed_inputs();
+        let c = done.first().expect("delivered");
+        assert_eq!(
+            world.read_app(HostId::B, rx, c.vaddr, c.len).expect("read"),
+            data,
+            "round {round}"
+        );
+        let region = c.region.expect("system-allocated");
+        if let Some(prev) = last_region {
+            assert_eq!(prev, region, "steady state must reuse the cached region");
+        }
+        last_region = Some(region);
+        world
+            .release_input_region(HostId::B, region, Semantics::EmulatedWeakMove)
+            .expect("recycle");
+    }
+}
+
+#[test]
+fn input_disabled_cow_protects_forked_children() {
+    // A simulated fork-style COW clone taken while DMA input is
+    // pending must not share the in-flight pages (Section 3.3).
+    let mut world = World::new(WorldConfig::default());
+    let parent = world.create_process(HostId::B);
+    let child = world.create_process(HostId::B);
+    let dst = world.alloc_buffer(HostId::B, parent, LEN, 0).expect("dst");
+    world
+        .app_write(HostId::B, parent, dst, &vec![0x11u8; LEN])
+        .expect("pre-fill");
+    world
+        .input(
+            HostId::B,
+            InputRequest::app(Semantics::EmulatedShare, Vc(1), parent, dst, LEN),
+        )
+        .expect("prepost");
+    // Fork: clone the buffer region COW into the child.
+    let h = world
+        .host(HostId::B)
+        .vm
+        .region_at(parent, dst)
+        .expect("region");
+    let (child_region, physical) = world
+        .host_mut(HostId::B)
+        .vm
+        .clone_region_cow(h, child)
+        .expect("clone");
+    assert!(physical, "pending input must force the physical copy");
+
+    // DMA lands after the fork.
+    let tx = world.create_process(HostId::A);
+    let src = world.alloc_buffer(HostId::A, tx, LEN, 0).expect("src");
+    world
+        .app_write(HostId::A, tx, src, &vec![0x99u8; LEN])
+        .expect("fill");
+    world
+        .output(
+            HostId::A,
+            OutputRequest::new(Semantics::EmulatedShare, Vc(1), tx, src, LEN),
+        )
+        .expect("output");
+    world.run();
+
+    // Parent observes the DMA (weak semantics), child must not.
+    let parent_view = world.read_app(HostId::B, parent, dst, LEN).expect("read");
+    assert!(parent_view.iter().all(|&b| b == 0x99));
+    let child_view = world
+        .read_app(HostId::B, child, child_region.start_vpn * 4096, LEN)
+        .expect("read child");
+    assert!(
+        child_view.iter().all(|&b| b == 0x11),
+        "child observed in-flight DMA through COW"
+    );
+}
+
+#[test]
+fn move_output_from_non_region_buffer_is_rejected() {
+    // Section 2.1: output with system-allocated semantics is only
+    // allowed on moved-in regions — deallocating heap/stack would open
+    // inconsistent gaps.
+    let mut world = World::new(WorldConfig::default());
+    let tx = world.create_process(HostId::A);
+    let src = world
+        .alloc_buffer(HostId::A, tx, LEN, 0)
+        .expect("unmovable");
+    world
+        .app_write(HostId::A, tx, src, &[1u8; 16])
+        .expect("fill");
+    for semantics in [
+        Semantics::Move,
+        Semantics::EmulatedMove,
+        Semantics::WeakMove,
+        Semantics::EmulatedWeakMove,
+    ] {
+        let err = world
+            .output(
+                HostId::A,
+                OutputRequest::new(semantics, Vc(1), tx, src, LEN),
+            )
+            .unwrap_err();
+        assert_eq!(err, genie::GenieError::OutputRequiresMovedInRegion);
+    }
+}
+
+#[test]
+fn region_mark_round_trip_through_cache() {
+    let mut world = World::new(WorldConfig::default());
+    let rx = world.create_process(HostId::B);
+    let tx = world.create_process(HostId::A);
+    world
+        .input(
+            HostId::B,
+            InputRequest::system(Semantics::EmulatedMove, Vc(1), rx, LEN),
+        )
+        .expect("prepost");
+    let (_r, src) = world
+        .host_mut(HostId::A)
+        .alloc_io_buffer(tx, LEN)
+        .expect("buffer");
+    world
+        .app_write(HostId::A, tx, src, &[9u8; LEN])
+        .expect("fill");
+    world
+        .output(
+            HostId::A,
+            OutputRequest::new(Semantics::EmulatedMove, Vc(1), tx, src, LEN),
+        )
+        .expect("output");
+    world.run();
+    let done = world.take_completed_inputs();
+    let region = done[0].region.expect("region");
+    assert_eq!(
+        world.host(HostId::B).vm.region(region).expect("r").mark,
+        RegionMark::MovedIn
+    );
+    world
+        .release_input_region(HostId::B, region, Semantics::EmulatedMove)
+        .expect("recycle");
+    assert_eq!(
+        world.host(HostId::B).vm.region(region).expect("r").mark,
+        RegionMark::MovedOut
+    );
+}
