@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use genie::{measure_latency_recorded, Semantics};
+use genie::{Semantics, SeriesContext};
 use genie_machine::{LinkSpec, MachineSpec, Op};
 
 use crate::breakdown::{fit_sizes, BufferingScheme};
@@ -35,29 +35,55 @@ pub struct OpFit {
 /// Operations that are only ever invoked with a fixed (zero-byte)
 /// footprint get a zero-slope fit through their mean cost.
 pub fn measure_primitive_costs(machine: MachineSpec, link: LinkSpec) -> Vec<OpFit> {
-    let mut by_op: BTreeMap<u32, Vec<(f64, f64)>> = BTreeMap::new();
+    // The instrumented sweeps are deterministic in (machine, link), and
+    // Tables 6 and 8 both need the baseline machine's fits — memoize so
+    // a full report run instruments each configuration once.
+    static CACHE: std::sync::Mutex<Vec<(String, Vec<OpFit>)>> = std::sync::Mutex::new(Vec::new());
+    let key = format!("{machine:?}|{link:?}");
+    if let Some((_, fits)) = CACHE.lock().unwrap().iter().find(|(k, _)| *k == key) {
+        return fits.clone();
+    }
+    let fits = instrument_primitive_costs(&machine, &link);
+    CACHE.lock().unwrap().push((key, fits.clone()));
+    fits
+}
+
+/// The uncached instrumented sweep behind [`measure_primitive_costs`].
+fn instrument_primitive_costs(machine: &MachineSpec, link: &LinkSpec) -> Vec<OpFit> {
     let sizes = fit_sizes(machine.page_size);
-    for scheme in [
+    // Each (scheme, semantics) pair is an independent instrumented
+    // sweep; fan them out to the worker pool and merge the samples in
+    // cell order, which keeps the fits identical to the serial nested
+    // loops at any thread count.
+    let schemes = [
         BufferingScheme::EarlyDemux,
         BufferingScheme::PooledAligned,
         BufferingScheme::PooledUnaligned,
-    ] {
-        for sem in Semantics::ALL {
-            let mut setup = scheme.setup(machine.clone(), link.clone());
-            // Disable copy-conversion so the pure op mix is observed at
-            // every size.
-            setup.genie = setup.genie.without_thresholds();
-            for &b in &sizes {
-                let (_lat, samples) =
-                    measure_latency_recorded(&setup, sem, b).expect("instrumented run");
-                for s in samples {
-                    by_op
-                        .entry(s.op.id())
-                        .or_default()
-                        .push((s.bytes as f64, s.cost.as_us()));
-                }
+    ];
+    let cells: Vec<(BufferingScheme, Semantics)> = schemes
+        .iter()
+        .flat_map(|&sch| Semantics::ALL.iter().map(move |&sem| (sch, sem)))
+        .collect();
+    let per_cell = genie_runner::map(&cells, |&(scheme, sem)| {
+        let mut setup = scheme.setup(machine.clone(), link.clone());
+        // Disable copy-conversion so the pure op mix is observed at
+        // every size.
+        setup.genie = setup.genie.without_thresholds();
+        let mut ctx = SeriesContext::new(&setup, &sizes);
+        let mut points: Vec<(u32, f64, f64)> = Vec::new();
+        for &b in &sizes {
+            let (_lat, samples) = ctx
+                .measure_latency_recorded(sem, b)
+                .expect("instrumented run");
+            for s in samples {
+                points.push((s.op.id(), s.bytes as f64, s.cost.as_us()));
             }
         }
+        points
+    });
+    let mut by_op: BTreeMap<u32, Vec<(f64, f64)>> = BTreeMap::new();
+    for (id, bytes, cost) in per_cell.into_iter().flatten() {
+        by_op.entry(id).or_default().push((bytes, cost));
     }
     let mut out = Vec::new();
     for (id, points) in by_op {

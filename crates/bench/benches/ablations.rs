@@ -1,20 +1,22 @@
 //! Ablation benches for the design choices DESIGN.md calls out.
 //!
 //! Each ablation reports the *simulated* outcome (the design tradeoff
-//! the paper argues) on stderr and benches the simulator run itself.
+//! the paper argues) on stderr and times the simulator run itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use genie::{
     measure_latency, ChecksumMode, ExperimentSetup, GenieConfig, HostId, OutputRequest, Semantics,
     World, WorldConfig,
 };
+use genie_bench::timing::bench;
 use genie_machine::MachineSpec;
 use genie_net::Vc;
+
+const ITERS: u32 = 10;
 
 /// TCOW (Section 5.1): cost of an application overwrite during output
 /// (page copied) vs after output (write merely re-enabled) vs no TCOW
 /// arming at all (emulated share).
-fn ablate_tcow(c: &mut Criterion) {
+fn ablate_tcow() {
     let overwrite_cost = |during: bool| {
         let mut w = World::new(WorldConfig::default());
         let p = w.create_process(HostId::A);
@@ -40,20 +42,17 @@ fn ablate_tcow(c: &mut Criterion) {
          after output: {after:.1} us (write re-enable only)"
     );
     assert!(during > after * 3.0);
-    let mut g = c.benchmark_group("ablate_tcow");
-    g.sample_size(10);
-    g.bench_function("overwrite_during_output", |b| {
-        b.iter(|| overwrite_cost(true))
+    bench("ablate_tcow/overwrite_during_output", ITERS, || {
+        overwrite_cost(true);
     });
-    g.bench_function("overwrite_after_output", |b| {
-        b.iter(|| overwrite_cost(false))
+    bench("ablate_tcow/overwrite_after_output", ITERS, || {
+        overwrite_cost(false);
     });
-    g.finish();
 }
 
 /// Input-disabled pageout (Section 3.2): share (wires) vs emulated
 /// share (does not) — the entire latency difference is the wiring.
-fn ablate_wiring(c: &mut Criterion) {
+fn ablate_wiring() {
     let setup = ExperimentSetup::early_demux(MachineSpec::micron_p166());
     let share = measure_latency(&setup, Semantics::Share, 61_440).expect("share");
     let emu = measure_latency(&setup, Semantics::EmulatedShare, 61_440).expect("emu share");
@@ -64,21 +63,18 @@ fn ablate_wiring(c: &mut Criterion) {
         emu.as_us()
     );
     assert!(share > emu);
-    let mut g = c.benchmark_group("ablate_wiring");
-    g.sample_size(10);
-    g.bench_function("share_wired", |b| {
-        b.iter(|| measure_latency(&setup, Semantics::Share, 61_440).expect("share"))
+    bench("ablate_wiring/share_wired", ITERS, || {
+        measure_latency(&setup, Semantics::Share, 61_440).expect("share");
     });
-    g.bench_function("emulated_share_unwired", |b| {
-        b.iter(|| measure_latency(&setup, Semantics::EmulatedShare, 61_440).expect("emu"))
+    bench("ablate_wiring/emulated_share_unwired", ITERS, || {
+        measure_latency(&setup, Semantics::EmulatedShare, 61_440).expect("emu");
     });
-    g.finish();
 }
 
 /// Reverse-copyout threshold (Section 5.2): sweep the threshold and
 /// measure emulated copy at just over half a page, where the setting
 /// matters most.
-fn ablate_reverse_copyout(c: &mut Criterion) {
+fn ablate_reverse_copyout() {
     let latency_at = |threshold: usize, bytes: usize| {
         let mut setup = ExperimentSetup::early_demux(MachineSpec::micron_p166());
         setup.genie = GenieConfig {
@@ -102,17 +98,20 @@ fn ablate_reverse_copyout(c: &mut Criterion) {
     // never copies more than ~half a page.
     assert!(latency_at(2178, 256) < latency_at(0, 256));
     assert!(latency_at(2178, 3584) <= latency_at(4095, 3584));
-    let mut g = c.benchmark_group("ablate_reverse_copyout");
-    g.sample_size(10);
-    g.bench_function("paper_threshold", |b| b.iter(|| latency_at(2178, 256)));
-    g.bench_function("always_swap", |b| b.iter(|| latency_at(0, 256)));
-    g.bench_function("always_copy", |b| b.iter(|| latency_at(4095, 3584)));
-    g.finish();
+    bench("ablate_reverse_copyout/paper_threshold", ITERS, || {
+        latency_at(2178, 256);
+    });
+    bench("ablate_reverse_copyout/always_swap", ITERS, || {
+        latency_at(0, 256);
+    });
+    bench("ablate_reverse_copyout/always_copy", ITERS, || {
+        latency_at(4095, 3584);
+    });
 }
 
 /// Output copy-conversion thresholds (Section 6): emulated copy on
 /// short data with and without auto-conversion to copy.
-fn ablate_thresholds(c: &mut Criterion) {
+fn ablate_thresholds() {
     let bytes = 512usize;
     let with = ExperimentSetup::early_demux(MachineSpec::micron_p166());
     let mut without = ExperimentSetup::early_demux(MachineSpec::micron_p166());
@@ -124,20 +123,17 @@ fn ablate_thresholds(c: &mut Criterion) {
         lw.as_us(),
         lwo.as_us()
     );
-    let mut g = c.benchmark_group("ablate_thresholds");
-    g.sample_size(10);
-    g.bench_function("with_conversion", |b| {
-        b.iter(|| measure_latency(&with, Semantics::EmulatedCopy, bytes).expect("m"))
+    bench("ablate_thresholds/with_conversion", ITERS, || {
+        measure_latency(&with, Semantics::EmulatedCopy, bytes).expect("m");
     });
-    g.bench_function("without_conversion", |b| {
-        b.iter(|| measure_latency(&without, Semantics::EmulatedCopy, bytes).expect("m"))
+    bench("ablate_thresholds/without_conversion", ITERS, || {
+        measure_latency(&without, Semantics::EmulatedCopy, bytes).expect("m");
     });
-    g.finish();
 }
 
 /// Region hiding (Section 4): emulated move vs move — the gap is
 /// region create/remove plus wiring.
-fn ablate_region_hiding(c: &mut Criterion) {
+fn ablate_region_hiding() {
     let setup = ExperimentSetup::early_demux(MachineSpec::micron_p166());
     let mv = measure_latency(&setup, Semantics::Move, 4096).expect("move");
     let emu = measure_latency(&setup, Semantics::EmulatedMove, 4096).expect("emu move");
@@ -147,21 +143,18 @@ fn ablate_region_hiding(c: &mut Criterion) {
         emu.as_us()
     );
     assert!(mv > emu);
-    let mut g = c.benchmark_group("ablate_region_hiding");
-    g.sample_size(10);
-    g.bench_function("move_create_remove", |b| {
-        b.iter(|| measure_latency(&setup, Semantics::Move, 4096).expect("m"))
+    bench("ablate_region_hiding/move_create_remove", ITERS, || {
+        measure_latency(&setup, Semantics::Move, 4096).expect("m");
     });
-    g.bench_function("emulated_move_hiding", |b| {
-        b.iter(|| measure_latency(&setup, Semantics::EmulatedMove, 4096).expect("m"))
+    bench("ablate_region_hiding/emulated_move_hiding", ITERS, || {
+        measure_latency(&setup, Semantics::EmulatedMove, 4096).expect("m");
     });
-    g.finish();
 }
 
 /// Checksum integration (Section 9): for long data, passing by VM
 /// manipulation then reading for the checksum costs less than a fused
 /// copy-and-checksum.
-fn ablate_checksum(c: &mut Criterion) {
+fn ablate_checksum() {
     let bytes = 61_440usize;
     let latency = |mode: ChecksumMode, sem: Semantics| {
         let mut setup = ExperimentSetup::early_demux(MachineSpec::micron_p166());
@@ -180,24 +173,19 @@ fn ablate_checksum(c: &mut Criterion) {
          one-step copy-and-checksum {fused_copy:.0} us"
     );
     assert!(vm_then_read < fused_copy);
-    let mut g = c.benchmark_group("ablate_checksum");
-    g.sample_size(10);
-    g.bench_function("vm_pass_then_read", |b| {
-        b.iter(|| latency(ChecksumMode::Separate, Semantics::EmulatedCopy))
+    bench("ablate_checksum/vm_pass_then_read", ITERS, || {
+        latency(ChecksumMode::Separate, Semantics::EmulatedCopy);
     });
-    g.bench_function("fused_copy_checksum", |b| {
-        b.iter(|| latency(ChecksumMode::Integrated, Semantics::Copy))
+    bench("ablate_checksum/fused_copy_checksum", ITERS, || {
+        latency(ChecksumMode::Integrated, Semantics::Copy);
     });
-    g.finish();
 }
 
-criterion_group!(
-    ablations,
-    ablate_tcow,
-    ablate_wiring,
-    ablate_reverse_copyout,
-    ablate_thresholds,
-    ablate_region_hiding,
-    ablate_checksum
-);
-criterion_main!(ablations);
+fn main() {
+    ablate_tcow();
+    ablate_wiring();
+    ablate_reverse_copyout();
+    ablate_thresholds();
+    ablate_region_hiding();
+    ablate_checksum();
+}

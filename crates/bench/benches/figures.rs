@@ -1,23 +1,25 @@
-//! Criterion benches: one group per paper figure/table, each entry
+//! Wall-clock benches: one group per paper figure/table, each entry
 //! driving the full simulator for one experiment point.
 //!
-//! Criterion measures the *simulator's* wall-clock speed; the
+//! The harness measures the *simulator's* wall-clock speed; the
 //! *simulated* results (the paper's numbers) are printed alongside,
 //! and regenerated in full by `cargo run -p genie-bench --bin report`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use genie::{measure_latency, measure_ping_pong, ExperimentSetup, Semantics};
+use genie_bench::timing::bench;
 use genie_machine::MachineSpec;
 
-fn bench_latency(c: &mut Criterion, group: &str, setup: &ExperimentSetup, bytes: usize) {
-    let mut g = c.benchmark_group(group);
-    g.sample_size(10);
+const ITERS: u32 = 10;
+
+fn bench_latency(group: &str, setup: &ExperimentSetup, bytes: usize) {
     for sem in Semantics::ALL {
         let latency = measure_latency(setup, sem, bytes).expect("measure");
-        g.bench_with_input(
-            BenchmarkId::new(sem.label().replace(' ', "_"), bytes),
-            &bytes,
-            |b, &bytes| b.iter(|| measure_latency(setup, sem, bytes).expect("measure")),
+        bench(
+            &format!("{group}/{}/{bytes}", sem.label().replace(' ', "_")),
+            ITERS,
+            || {
+                measure_latency(setup, sem, bytes).expect("measure");
+            },
         );
         eprintln!(
             "[simulated] {group}/{}/{bytes}: {:.1} us",
@@ -25,70 +27,78 @@ fn bench_latency(c: &mut Criterion, group: &str, setup: &ExperimentSetup, bytes:
             latency.as_us()
         );
     }
-    g.finish();
 }
 
 /// Figure 3: early demultiplexing, 60 KB.
-fn fig3(c: &mut Criterion) {
+fn fig3() {
     let setup = ExperimentSetup::early_demux(MachineSpec::micron_p166());
-    bench_latency(c, "fig3_latency_early_demux", &setup, 61_440);
+    bench_latency("fig3_latency_early_demux", &setup, 61_440);
 }
 
 /// Figure 4: CPU utilization (ping-pong).
-fn fig4(c: &mut Criterion) {
+fn fig4() {
     let setup = ExperimentSetup::early_demux(MachineSpec::micron_p166());
-    let mut g = c.benchmark_group("fig4_utilization");
-    g.sample_size(10);
     for sem in [
         Semantics::Copy,
         Semantics::EmulatedCopy,
         Semantics::EmulatedShare,
     ] {
         let (_lat, util) = measure_ping_pong(&setup, sem, 61_440, 3).expect("ping-pong");
-        g.bench_function(sem.label().replace(' ', "_"), |b| {
-            b.iter(|| measure_ping_pong(&setup, sem, 61_440, 3).expect("ping-pong"))
-        });
+        bench(
+            &format!("fig4_utilization/{}", sem.label().replace(' ', "_")),
+            ITERS,
+            || {
+                measure_ping_pong(&setup, sem, 61_440, 3).expect("ping-pong");
+            },
+        );
         eprintln!("[simulated] fig4/{}: {:.1}% CPU", sem.label(), util * 100.0);
     }
-    g.finish();
 }
 
 /// Figure 5: short datagrams (half-page crossover point).
-fn fig5(c: &mut Criterion) {
+fn fig5() {
     let setup = ExperimentSetup::early_demux(MachineSpec::micron_p166());
-    bench_latency(c, "fig5_short_datagrams", &setup, 2048);
+    bench_latency("fig5_short_datagrams", &setup, 2048);
 }
 
 /// Figure 6: application-aligned pooled input.
-fn fig6(c: &mut Criterion) {
+fn fig6() {
     let setup = ExperimentSetup::pooled_aligned(MachineSpec::micron_p166());
-    bench_latency(c, "fig6_pooled_aligned", &setup, 61_440);
+    bench_latency("fig6_pooled_aligned", &setup, 61_440);
 }
 
 /// Figure 7: unaligned pooled input.
-fn fig7(c: &mut Criterion) {
+fn fig7() {
     let setup = ExperimentSetup::pooled_unaligned(MachineSpec::micron_p166());
-    bench_latency(c, "fig7_pooled_unaligned", &setup, 61_440);
+    bench_latency("fig7_pooled_unaligned", &setup, 61_440);
 }
 
 /// Section 6.2.3: outboard buffering (extension).
-fn outboard(c: &mut Criterion) {
+fn outboard() {
     let setup = ExperimentSetup::outboard(MachineSpec::micron_p166());
-    bench_latency(c, "outboard_buffering", &setup, 61_440);
+    bench_latency("outboard_buffering", &setup, 61_440);
 }
 
 /// Tables 7/8: the cross-platform sweeps.
-fn platforms(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table8_platforms");
-    g.sample_size(10);
+fn platforms() {
     for machine in MachineSpec::all() {
         let setup = ExperimentSetup::early_demux(machine.clone());
-        g.bench_function(machine.name.replace([' ', '/'], "_"), |b| {
-            b.iter(|| measure_latency(&setup, Semantics::EmulatedCopy, 8 * 4096).expect("measure"))
-        });
+        bench(
+            &format!("table8_platforms/{}", machine.name.replace([' ', '/'], "_")),
+            ITERS,
+            || {
+                measure_latency(&setup, Semantics::EmulatedCopy, 8 * 4096).expect("measure");
+            },
+        );
     }
-    g.finish();
 }
 
-criterion_group!(figures, fig3, fig4, fig5, fig6, fig7, outboard, platforms);
-criterion_main!(figures);
+fn main() {
+    fig3();
+    fig4();
+    fig5();
+    fig6();
+    fig7();
+    outboard();
+    platforms();
+}

@@ -2,104 +2,80 @@
 //! data structures run on the host machine (distinct from the
 //! *simulated* costs, which are the paper's subject).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use genie_bench::timing::bench;
 use genie_machine::SimTime;
 use genie_mem::{IoDir, PhysMem};
 use genie_net::{aal5, checksum16, EventQueue};
 use genie_vm::{Access, RegionMark, Vm};
 
-fn frame_allocator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrate/frame_allocator");
-    g.bench_function("alloc_dealloc_cycle", |b| {
-        let mut m = PhysMem::new(4096, 256);
-        b.iter(|| {
+fn frame_allocator() {
+    let mut m = PhysMem::new(4096, 256);
+    bench(
+        "substrate/frame_allocator/alloc_dealloc_cycle",
+        1000,
+        || {
             let f = m.alloc(None).expect("alloc");
             m.dealloc(f).expect("dealloc");
-        })
+        },
+    );
+    let mut m = PhysMem::new(4096, 4);
+    let f = m.alloc(None).expect("alloc");
+    bench("substrate/frame_allocator/ref_unref", 1000, || {
+        m.ref_io(f, IoDir::Output).expect("ref");
+        m.unref_io(f, IoDir::Output).expect("unref");
     });
-    g.bench_function("ref_unref", |b| {
-        let mut m = PhysMem::new(4096, 4);
-        let f = m.alloc(None).expect("alloc");
-        b.iter(|| {
-            m.ref_io(f, IoDir::Output).expect("ref");
-            m.unref_io(f, IoDir::Output).expect("unref");
-        })
-    });
-    g.finish();
 }
 
-fn vm_faults(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrate/vm");
-    g.bench_function("zero_fill_fault", |b| {
-        b.iter_batched(
-            || {
-                let mut v = Vm::new(PhysMem::new(4096, 64));
-                let s = v.create_space();
-                let h = v.alloc_region(s, 8, RegionMark::Unmovable).expect("region");
-                (v, s, h.start_vpn)
-            },
-            |(mut v, s, vpn)| {
-                for i in 0..8 {
-                    v.handle_fault(s, vpn + i, Access::Write).expect("fault");
-                }
-            },
-            criterion::BatchSize::SmallInput,
-        )
+fn vm_faults() {
+    bench("substrate/vm/zero_fill_fault", 200, || {
+        let mut v = Vm::new(PhysMem::new(4096, 64));
+        let s = v.create_space();
+        let h = v.alloc_region(s, 8, RegionMark::Unmovable).expect("region");
+        for i in 0..8 {
+            v.handle_fault(s, h.start_vpn + i, Access::Write)
+                .expect("fault");
+        }
     });
-    g.bench_function("tcow_write_fault", |b| {
-        b.iter_batched(
-            || {
-                let mut v = Vm::new(PhysMem::new(4096, 64));
-                let s = v.create_space();
-                let va = v.alloc_app_buffer(s, 4096).expect("buffer");
-                v.write_app(s, va, b"x").expect("touch");
-                let (d, _) = v
-                    .reference_pages(s, va, 4096, IoDir::Output)
-                    .expect("reference");
-                v.write_protect(s, va, 4096);
-                (v, s, va, d)
-            },
-            |(mut v, s, va, _d)| {
-                v.write_app(s, va, b"y").expect("tcow");
-            },
-            criterion::BatchSize::SmallInput,
-        )
+    bench("substrate/vm/tcow_write_fault", 200, || {
+        let mut v = Vm::new(PhysMem::new(4096, 64));
+        let s = v.create_space();
+        let va = v.alloc_app_buffer(s, 4096).expect("buffer");
+        v.write_app(s, va, b"x").expect("touch");
+        let (_d, _) = v
+            .reference_pages(s, va, 4096, IoDir::Output)
+            .expect("reference");
+        v.write_protect(s, va, 4096);
+        v.write_app(s, va, b"y").expect("tcow");
     });
-    g.finish();
 }
 
-fn aal5_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrate/aal5");
+fn aal5_codec() {
     let payload = vec![0xa5u8; 61_440];
-    g.throughput(Throughput::Bytes(payload.len() as u64));
-    g.bench_function("segment_60k", |b| b.iter(|| aal5::segment(1, &payload)));
+    bench("substrate/aal5/segment_60k", 100, || {
+        std::hint::black_box(aal5::segment(1, &payload));
+    });
     let cells = aal5::segment(1, &payload);
-    g.bench_function("reassemble_60k", |b| {
-        b.iter(|| aal5::reassemble(&cells).expect("reassemble"))
+    bench("substrate/aal5/reassemble_60k", 100, || {
+        std::hint::black_box(aal5::reassemble(&cells).expect("reassemble"));
     });
-    g.bench_function("checksum16_60k", |b| b.iter(|| checksum16(&payload)));
-    g.finish();
+    bench("substrate/aal5/checksum16_60k", 100, || {
+        std::hint::black_box(checksum16(&payload));
+    });
 }
 
-fn event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrate/event_queue");
-    g.bench_function("push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1024u64 {
-                q.push(SimTime::from_ps(i * 37 % 511), i);
-            }
-            while q.pop().is_some() {}
-        })
+fn event_queue() {
+    bench("substrate/event_queue/push_pop_1k", 200, || {
+        let mut q = EventQueue::new();
+        for i in 0..1024u64 {
+            q.push(SimTime::from_ps(i * 37 % 511), i);
+        }
+        while q.pop().is_some() {}
     });
-    g.finish();
 }
 
-criterion_group!(
-    primitives,
-    frame_allocator,
-    vm_faults,
-    aal5_codec,
-    event_queue
-);
-criterion_main!(primitives);
+fn main() {
+    frame_allocator();
+    vm_faults();
+    aal5_codec();
+    event_queue();
+}

@@ -3,9 +3,19 @@
 //! Usage:
 //!   report                 # everything
 //!   report fig3 table7 ... # selected exhibits
+//!   report --threads 4 all # explicit worker-thread count
+//!   report --json all      # also write BENCH_report.json
 //!
 //! Exhibits: table1 fig1 fig2 table2 table3 table4 table5 fig3 fig4
 //! fig5 fig6 fig7 table6 table7 table8 oc12 outboard ablations
+//! waterfall
+//!
+//! Selected exhibits are computed in parallel on the genie-runner
+//! worker pool (thread count from `--threads`, else `GENIE_THREADS`,
+//! else the machine's parallelism) and printed in their canonical
+//! order, so the output is byte-identical to a serial run.
+
+use std::time::Instant;
 
 use genie_bench as gen;
 use genie_machine::MachineSpec;
@@ -37,12 +47,54 @@ fn figure2_walkthrough() -> String {
     out
 }
 
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The 60 KB early-demux latencies per semantics: the headline
+/// simulated numbers recorded alongside the wall-clock timings.
+fn simulated_summary() -> Vec<(String, f64)> {
+    let setup = genie::ExperimentSetup::early_demux(MachineSpec::micron_p166());
+    genie_runner::map(&genie::Semantics::ALL, |&sem| {
+        let lat = genie::measure_latency(&setup, sem, 61_440).expect("measure");
+        (sem.label().to_string(), lat.as_us())
+    })
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        args.remove(i);
+        json = true;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        if i + 1 >= args.len() {
+            eprintln!("--threads requires a count");
+            std::process::exit(2);
+        }
+        let n: usize = args[i + 1].parse().unwrap_or_else(|_| {
+            eprintln!("--threads: invalid count {:?}", args[i + 1]);
+            std::process::exit(2);
+        });
+        genie_runner::set_threads(n);
+        args.drain(i..=i + 1);
+    }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
     let m = MachineSpec::micron_p166;
 
-    type Exhibit = (&'static str, Box<dyn Fn() -> String>);
+    type Exhibit = (&'static str, Box<dyn Fn() -> String + Sync>);
     let exhibits: Vec<Exhibit> = vec![
         ("table1", Box::new(gen::table1)),
         ("fig1", Box::new(gen::figure1)),
@@ -65,14 +117,8 @@ fn main() {
         ("waterfall", Box::new(move || gen::breakdown_waterfall(m()))),
     ];
 
-    let mut printed = 0;
-    for (name, f) in &exhibits {
-        if want(name) {
-            println!("{}\n", f());
-            printed += 1;
-        }
-    }
-    if printed == 0 {
+    let selected: Vec<&Exhibit> = exhibits.iter().filter(|(name, _)| want(name)).collect();
+    if selected.is_empty() {
         eprintln!(
             "unknown exhibit; available: {}",
             exhibits
@@ -82,5 +128,48 @@ fn main() {
                 .join(" ")
         );
         std::process::exit(2);
+    }
+
+    // Compute in parallel, print in canonical order.
+    let t0 = Instant::now();
+    let rendered = genie_runner::map(&selected, |(name, f)| {
+        let t = Instant::now();
+        let text = f();
+        (*name, text, t.elapsed().as_secs_f64() * 1e3)
+    });
+    let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    for (_name, text, _ms) in &rendered {
+        println!("{text}\n");
+    }
+
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"threads\": {},\n  \"total_wall_ms\": {:.3},\n",
+            genie_runner::configured_threads(),
+            total_ms
+        ));
+        out.push_str("  \"exhibits\": [\n");
+        for (i, (name, _text, ms)) in rendered.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_ms\": {:.3}}}{}\n",
+                json_escape(name),
+                ms,
+                if i + 1 < rendered.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"simulated_latency_60kb_us\": {\n");
+        let sims = simulated_summary();
+        for (i, (label, us)) in sims.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {:.3}{}\n",
+                json_escape(label),
+                us,
+                if i + 1 < sims.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  }\n}\n");
+        std::fs::write("BENCH_report.json", &out).expect("write BENCH_report.json");
+        eprintln!("wrote BENCH_report.json ({} exhibits)", rendered.len());
     }
 }

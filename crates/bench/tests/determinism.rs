@@ -1,0 +1,33 @@
+//! Thread-count determinism: a full figure sweep must render
+//! byte-identical output no matter how many worker threads run it.
+//!
+//! This is the contract the parallel runner is built on: every cell is
+//! a pure function of its index, results are collected in cell order,
+//! and each `World` stays single-threaded. The test drives a complete
+//! Figure 3 sweep (all six semantics over the full size grid, plus the
+//! throughput footnote) through the serial path and through a
+//! four-thread pool and compares the rendered text bytes.
+//!
+//! Kept as the only test in this binary: it flips the global thread
+//! override, which must not race sweeps run by unrelated tests.
+
+use genie_machine::MachineSpec;
+
+#[test]
+fn figure3_render_is_identical_serial_and_threaded() {
+    genie_runner::set_threads(1);
+    let serial = genie_bench::figure3(MachineSpec::micron_p166());
+
+    genie_runner::set_threads(4);
+    let threaded = genie_bench::figure3(MachineSpec::micron_p166());
+
+    genie_runner::set_threads(0);
+    assert_eq!(
+        serial, threaded,
+        "figure 3 output differs between 1 and 4 worker threads"
+    );
+    assert!(
+        serial.contains("Figure 3"),
+        "sweep produced no figure output"
+    );
+}

@@ -7,6 +7,16 @@
 //! Every measured exchange also verifies the received bytes equal the
 //! sent bytes, so the performance experiments double as end-to-end
 //! integrity checks.
+//!
+//! Each measured cell drives its own single-threaded `World`
+//! (deterministic by design); the sweeps fan independent cells out to
+//! the `genie-runner` worker pool and collect results by cell index,
+//! so sweep output is byte-identical at any thread count. Within one
+//! worker's share of a sweep, a [`SeriesContext`] reuses one `World`
+//! across sizes instead of rebuilding (and re-zeroing) its physical
+//! memory per point; every exchange starts from a quiesced world with
+//! freshly allocated buffers and a warm-up round, so a reused world
+//! measures exactly what a fresh one does.
 
 use genie_machine::{LinkSpec, MachineSpec, SimTime};
 use genie_net::{InputBuffering, Vc, HEADER_LEN};
@@ -114,6 +124,112 @@ fn payload(len: usize, seed: u8) -> Vec<u8> {
         .collect()
 }
 
+/// A reusable measurement context: one `World` (with its sender and
+/// receiver processes) shared by consecutive measurements of a series.
+///
+/// Building a `World` zero-fills every physical frame of both hosts,
+/// which dominated sweep wall-clock time when each point rebuilt it.
+/// Reuse is measurement-neutral: every exchange quiesces the world
+/// first, each size allocates fresh buffers, and each measurement runs
+/// its own warm-up round — so a reused world reports the same latency
+/// as a fresh one (the determinism tests and the committed report
+/// baseline both check this).
+pub struct SeriesContext {
+    setup: ExperimentSetup,
+    w: World,
+    tx: SpaceId,
+    rx: SpaceId,
+}
+
+impl SeriesContext {
+    /// Builds a context sized to measure all of `sizes` (buffers
+    /// allocated for earlier sizes stay live for the rest of the
+    /// series, so the frame budget covers their sum).
+    pub fn new(setup: &ExperimentSetup, sizes: &[usize]) -> Self {
+        let mut cfg = setup.world_config();
+        cfg.frames_per_host += sizes
+            .iter()
+            .map(|&b| 4 * (b / cfg.machine_a.page_size + 2))
+            .sum::<usize>();
+        let mut w = World::new(cfg);
+        let tx = w.create_process(HostId::A);
+        let rx = w.create_process(HostId::B);
+        SeriesContext {
+            setup: setup.clone(),
+            w,
+            tx,
+            rx,
+        }
+    }
+
+    /// Measures one-way latency at one size (one warm-up round so
+    /// region caches and buffer pages are warm, then the measured
+    /// round).
+    pub fn measure_latency(
+        &mut self,
+        semantics: Semantics,
+        bytes: usize,
+    ) -> Result<SimTime, GenieError> {
+        let mut last = SimTime::ZERO;
+        let mut app_bufs: Option<(u64, u64)> = None;
+        for round in 0..2u8 {
+            let data = payload(bytes, round);
+            last = one_exchange_between(
+                &mut self.w,
+                semantics,
+                Vc(1),
+                HostId::A,
+                self.tx,
+                HostId::B,
+                self.rx,
+                self.setup.recv_page_off,
+                &data,
+                &mut app_bufs,
+            )?;
+        }
+        Ok(last)
+    }
+
+    /// Like [`SeriesContext::measure_latency`], but records the ledger
+    /// samples of the measured round on both hosts (the warm-up round
+    /// is unrecorded, exactly as in the standalone
+    /// [`measure_latency_recorded`]).
+    pub fn measure_latency_recorded(
+        &mut self,
+        semantics: Semantics,
+        bytes: usize,
+    ) -> Result<(SimTime, Vec<genie_machine::Sample>), GenieError> {
+        let mut app_bufs: Option<(u64, u64)> = None;
+        let (tx, rx, page_off) = (self.tx, self.rx, self.setup.recv_page_off);
+        let exchange = |w: &mut World, seed: u8, bufs: &mut Option<(u64, u64)>| {
+            one_exchange_between(
+                w,
+                semantics,
+                Vc(1),
+                HostId::A,
+                tx,
+                HostId::B,
+                rx,
+                page_off,
+                &payload(bytes, seed),
+                bufs,
+            )
+        };
+        exchange(&mut self.w, 0, &mut app_bufs)?;
+        self.w.host_mut(HostId::A).ledger.record_samples(true);
+        self.w.host_mut(HostId::B).ledger.record_samples(true);
+        let latency = exchange(&mut self.w, 1, &mut app_bufs)?;
+        let mut samples = self.w.host(HostId::A).ledger.samples().to_vec();
+        samples.extend_from_slice(self.w.host(HostId::B).ledger.samples());
+        for h in [HostId::A, HostId::B] {
+            let ledger = &mut self.w.host_mut(h).ledger;
+            ledger.record_samples(false);
+            ledger.clear_samples();
+        }
+        Ok((latency, samples))
+    }
+}
+
 /// Drives one measured exchange (with one warm-up round so region
 /// caches and buffer pages are warm) and returns the measured latency.
 pub fn measure_latency(
@@ -121,66 +237,59 @@ pub fn measure_latency(
     semantics: Semantics,
     bytes: usize,
 ) -> Result<SimTime, GenieError> {
-    let mut w = World::new(setup.world_config());
-    let tx = w.create_process(HostId::A);
-    let rx = w.create_process(HostId::B);
-    let mut last = SimTime::ZERO;
-    let mut app_bufs: Option<(u64, u64)> = None;
-    for round in 0..2u8 {
-        let data = payload(bytes, round);
-        last = one_exchange_between(
-            &mut w,
-            semantics,
-            Vc(1),
-            HostId::A,
-            tx,
-            HostId::B,
-            rx,
-            setup.recv_page_off,
-            &data,
-            &mut app_bufs,
-        )?;
-    }
-    Ok(last)
+    SeriesContext::new(setup, &[bytes]).measure_latency(semantics, bytes)
 }
 
 /// Latency sweep over datagram sizes (Figures 3, 5, 6, 7).
+///
+/// Sizes are split into contiguous chunks, one per worker thread; each
+/// chunk reuses a single [`SeriesContext`]. Results come back in size
+/// order regardless of thread count.
 pub fn latency_sweep(
     setup: &ExperimentSetup,
     semantics: Semantics,
     sizes: &[usize],
 ) -> Vec<ExperimentPoint> {
-    sizes
-        .iter()
-        .map(|&bytes| ExperimentPoint {
-            bytes,
-            latency: measure_latency(setup, semantics, bytes).expect("experiment"),
-            utilization: 0.0,
-        })
-        .collect()
+    if sizes.is_empty() {
+        return Vec::new();
+    }
+    let threads = genie_runner::configured_threads().clamp(1, sizes.len());
+    let chunks: Vec<&[usize]> = sizes.chunks(sizes.len().div_ceil(threads)).collect();
+    genie_runner::map(&chunks, |chunk| {
+        let mut ctx = SeriesContext::new(setup, chunk);
+        chunk
+            .iter()
+            .map(|&bytes| ExperimentPoint {
+                bytes,
+                latency: ctx.measure_latency(semantics, bytes).expect("experiment"),
+                utilization: 0.0,
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// CPU utilization via ping-pong exchange (Figure 4): each host
 /// alternately sends and receives; utilization is host A's busy time
-/// over elapsed time, after a warm-up round.
+/// over elapsed time, after a warm-up round. Each size is an
+/// independent cell on the worker pool.
 pub fn utilization_sweep(
     setup: &ExperimentSetup,
     semantics: Semantics,
     sizes: &[usize],
     rounds: usize,
 ) -> Vec<ExperimentPoint> {
-    sizes
-        .iter()
-        .map(|&bytes| {
-            let (latency, utilization) =
-                measure_ping_pong(setup, semantics, bytes, rounds).expect("experiment");
-            ExperimentPoint {
-                bytes,
-                latency,
-                utilization,
-            }
-        })
-        .collect()
+    genie_runner::map(sizes, |&bytes| {
+        let (latency, utilization) =
+            measure_ping_pong(setup, semantics, bytes, rounds).expect("experiment");
+        ExperimentPoint {
+            bytes,
+            latency,
+            utilization,
+        }
+    })
 }
 
 /// Runs `rounds` ping-pong rounds and returns (one-way latency of the
@@ -391,40 +500,7 @@ pub fn measure_latency_recorded(
     semantics: Semantics,
     bytes: usize,
 ) -> Result<(SimTime, Vec<genie_machine::Sample>), GenieError> {
-    let mut w = World::new(setup.world_config());
-    let tx = w.create_process(HostId::A);
-    let rx = w.create_process(HostId::B);
-    let mut app_bufs: Option<(u64, u64)> = None;
-    // Warm-up round, unrecorded.
-    one_exchange_between(
-        &mut w,
-        semantics,
-        Vc(1),
-        HostId::A,
-        tx,
-        HostId::B,
-        rx,
-        setup.recv_page_off,
-        &payload(bytes, 0),
-        &mut app_bufs,
-    )?;
-    w.host_mut(HostId::A).ledger.record_samples(true);
-    w.host_mut(HostId::B).ledger.record_samples(true);
-    let latency = one_exchange_between(
-        &mut w,
-        semantics,
-        Vc(1),
-        HostId::A,
-        tx,
-        HostId::B,
-        rx,
-        setup.recv_page_off,
-        &payload(bytes, 1),
-        &mut app_bufs,
-    )?;
-    let mut samples = w.host(HostId::A).ledger.samples().to_vec();
-    samples.extend_from_slice(w.host(HostId::B).ledger.samples());
-    Ok((latency, samples))
+    SeriesContext::new(setup, &[bytes]).measure_latency_recorded(semantics, bytes)
 }
 
 /// Equivalent throughput in Mbit/s of a single datagram of `bytes`

@@ -246,7 +246,7 @@ impl World {
         time: SimTime,
         to: HostId,
         vc: Vc,
-        payload: Vec<u8>,
+        payload: &[u8],
         sent_at: SimTime,
         cells: usize,
     ) {
@@ -273,14 +273,14 @@ impl World {
                 .push(wake, crate::world::Event::Transmit { token: front });
         }
 
-        let header = DatagramHeader::decode(&payload).expect("header fits");
+        let header = DatagramHeader::decode(payload).expect("header fits");
         let data_len = header.len as usize;
         let key = (to.idx(), vc.0);
         let pending = self.recvs.get_mut(&key).and_then(VecDeque::pop_front);
 
         match pending {
             Some(p) => {
-                let placed = self.place_for_pending(to, &p, &payload);
+                let placed = self.place_for_pending(to, &p, payload);
                 match placed {
                     Some(placed) => {
                         self.dispose_input(to, p, placed, header, sent_at);
@@ -296,7 +296,7 @@ impl World {
                 // Unsolicited: buffer via the pool (or outboard) and
                 // backlog.
                 let _ = data_len;
-                let placed = self.place_unsolicited(to, vc, &payload);
+                let placed = self.place_unsolicited(to, vc, payload);
                 if let Some(placed) = placed {
                     self.backlog
                         .entry(key)

@@ -66,7 +66,7 @@ pub use config::{ChecksumMode, GenieConfig};
 pub use error::GenieError;
 pub use experiment::{
     latency_sweep, measure_latency, measure_latency_recorded, measure_ping_pong, measure_stream,
-    throughput_mbps, utilization_sweep, ExperimentPoint, ExperimentSetup,
+    throughput_mbps, utilization_sweep, ExperimentPoint, ExperimentSetup, SeriesContext,
 };
 pub use host::Host;
 pub use input::{InputRequest, RecvCompletion};

@@ -111,8 +111,11 @@ impl World {
                     self.host_mut(from)
                         .charge_latency(Op::ChecksumRead, req.len, 0);
                 }
-                let bytes = Adapter::dma_gather(&self.host(from).vm.phys, &desc.vecs)?;
-                checksum16(&bytes)
+                let mut bytes = self.take_payload_buf();
+                Adapter::dma_gather_into(&self.host(from).vm.phys, &desc.vecs, &mut bytes)?;
+                let sum = checksum16(&bytes);
+                self.recycle_payload(bytes);
+                sum
             }
         };
 
@@ -296,12 +299,16 @@ impl World {
             return false;
         }
 
+        let mut payload = self.take_payload_buf();
+        payload.reserve(total);
         let send = self.sends.get(&token).expect("pending send");
-        let mut payload = Vec::with_capacity(total);
         payload.extend_from_slice(&send.header.encode());
-        let data = Adapter::dma_gather(&self.hosts[from.idx()].vm.phys, &send.desc.vecs)
-            .expect("gather referenced frames");
-        payload.extend_from_slice(&data);
+        Adapter::dma_gather_into(
+            &self.hosts[from.idx()].vm.phys,
+            &send.desc.vecs,
+            &mut payload,
+        )
+        .expect("gather referenced frames");
 
         // Per-cell driver housekeeping: CPU busy, overlapped with the
         // transmission (contributes to Figure 4, not to latency).

@@ -141,6 +141,10 @@ pub struct World {
     /// Per-(sender, VC) transmit FIFO: a credit-stalled PDU blocks the
     /// head of its VC's line so delivery order is preserved.
     pub(crate) txq: BTreeMap<(usize, u32), VecDeque<u64>>,
+    /// Recycled PDU payload buffers: transmit gathers into one of
+    /// these, arrival returns it, so steady-state traffic allocates no
+    /// per-datagram payload Vec.
+    pub(crate) spare_payloads: Vec<Vec<u8>>,
 }
 
 impl World {
@@ -171,6 +175,24 @@ impl World {
             seq: BTreeMap::new(),
             link_busy_until: [SimTime::ZERO; 2],
             txq: BTreeMap::new(),
+            spare_payloads: Vec::new(),
+        }
+    }
+
+    /// Takes a cleared payload buffer from the spare pool (or
+    /// allocates one).
+    pub(crate) fn take_payload_buf(&mut self) -> Vec<u8> {
+        let mut buf = self.spare_payloads.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Returns a payload buffer to the spare pool. The cap only
+    /// matters to pipelined experiments with many PDUs in flight; the
+    /// latency ping-pongs keep one or two buffers circulating.
+    pub(crate) fn recycle_payload(&mut self, buf: Vec<u8>) {
+        if self.spare_payloads.len() < 32 && buf.capacity() > 0 {
+            self.spare_payloads.push(buf);
         }
     }
 
@@ -274,7 +296,10 @@ impl World {
                     payload,
                     sent_at,
                     cells,
-                } => self.on_arrive(time, to, vc, payload, sent_at, cells),
+                } => {
+                    self.on_arrive(time, to, vc, &payload, sent_at, cells);
+                    self.recycle_payload(payload);
+                }
             }
         }
     }

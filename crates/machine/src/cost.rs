@@ -184,9 +184,12 @@ impl Op {
         self.params().2
     }
 
-    /// Stable numeric id (used for deterministic per-op skew).
+    /// Stable numeric id (used for deterministic per-op skew). The
+    /// enum is `repr(u32)` with default discriminants, so the id is
+    /// the declaration position — no table scan needed on the charge
+    /// hot path.
     pub fn id(self) -> u32 {
-        Op::ALL.iter().position(|o| *o == self).expect("op in ALL") as u32
+        self as u32
     }
 
     /// True if this operation updates page-table entries.
@@ -195,34 +198,94 @@ impl Op {
     }
 }
 
+/// Memoized cost line for one operation on one platform: every cost is
+/// `fixed + n * per_unit` for some unit (pages, cells, or bytes), so
+/// the platform scaling factors are folded into two constants per op
+/// when the model is built, leaving the per-charge hot path a table
+/// lookup and one fused multiply-add.
+#[derive(Clone, Copy, Debug)]
+struct CostLine {
+    /// Resolved fixed cost, µs.
+    fixed_us: f64,
+    /// Resolved per-unit cost (µs per page/cell for CPU ops, µs per
+    /// byte for memory/cache/device ops).
+    per_unit_us: f64,
+    kind: OpKind,
+}
+
 /// Cost model for one platform: maps `(Op, bytes, units)` to simulated
 /// time according to the scaling rules above.
 #[derive(Clone, Debug)]
 pub struct CostModel {
     machine: MachineSpec,
-    /// `BASE_SPECINT / effective_specint`: multiplier on CPU work.
-    cpu_ratio: f64,
-    /// Per-byte cost of an L1-resident copy, µs/B.
+    /// Per-byte cost of an L1-resident copy, µs/B (cache-op model).
     l1_us_per_byte: f64,
-    /// Per-byte cost of an L2-resident copy, µs/B (unscaled by coeff).
-    l2_us_per_byte: f64,
-    /// Per-byte cost of a main-memory copy, µs/B (unscaled by coeff).
-    mem_us_per_byte: f64,
+    /// Resolved per-op cost lines, indexed by `Op::id()`.
+    lines: Vec<CostLine>,
 }
 
 impl CostModel {
-    /// Builds the cost model for `machine`.
+    /// Builds the cost model for `machine`, resolving every op's cost
+    /// line against the platform's scaling factors up front.
     pub fn new(machine: MachineSpec) -> Self {
         let cpu_ratio = BASE_SPECINT / machine.effective_specint();
         let l1_us_per_byte = 8.0 / machine.l1_bw_mbps;
         let l2_us_per_byte = 8.0 / machine.l2_bw_mbps;
         let mem_us_per_byte = 8.0 / machine.mem_bw_mbps;
+        let lines = Op::ALL
+            .iter()
+            .map(|&op| {
+                let (fixed_us, per_unit_us, kind) = op.params();
+                match kind {
+                    OpKind::Cpu | OpKind::CpuPte => {
+                        let skew = machine.op_skew.factor(op.id());
+                        // Calibration per-unit constants are per 4 KB
+                        // base page; VM work is per page regardless of
+                        // page size, adapter work per cell.
+                        let pte_mult = if kind == OpKind::CpuPte {
+                            1.0 - PTE_SHARE + PTE_SHARE * machine.pte_factor
+                        } else {
+                            1.0
+                        };
+                        CostLine {
+                            fixed_us: fixed_us * cpu_ratio * skew,
+                            per_unit_us: per_unit_us
+                                * cpu_ratio
+                                * skew
+                                * pte_mult
+                                * machine.per_page_factor,
+                            kind,
+                        }
+                    }
+                    OpKind::Memory => CostLine {
+                        // `per_unit_us` is the dimensionless
+                        // coefficient on the inverse memory bandwidth
+                        // (0.96525 for copyout: 0.96525 * 8/351 = the
+                        // paper's 0.0220 µs/B on P166).
+                        fixed_us: fixed_us * cpu_ratio,
+                        per_unit_us: per_unit_us * mem_us_per_byte,
+                        kind,
+                    },
+                    OpKind::Cache => CostLine {
+                        // `per_unit_us` becomes the coefficient on the
+                        // inverse L2 bandwidth (1.0935 * 8/486 = the
+                        // paper's 0.0180 µs/B).
+                        fixed_us: 0.0,
+                        per_unit_us: per_unit_us * l2_us_per_byte,
+                        kind,
+                    },
+                    OpKind::Device => CostLine {
+                        fixed_us,
+                        per_unit_us,
+                        kind,
+                    },
+                }
+            })
+            .collect();
         CostModel {
             machine,
-            cpu_ratio,
             l1_us_per_byte,
-            l2_us_per_byte,
-            mem_us_per_byte,
+            lines,
         }
     }
 
@@ -240,47 +303,21 @@ impl CostModel {
     /// `units` units (pages for VM operations, cells for adapter
     /// operations; ignored by memory/cache/byte-scaled operations).
     pub fn cost(&self, op: Op, bytes: usize, units: usize) -> SimTime {
-        let (fixed_us, per_unit_us, kind) = op.params();
-        let us = match kind {
-            OpKind::Cpu | OpKind::CpuPte => {
-                let skew = self.machine.op_skew.factor(op.id());
-                let fixed = fixed_us * self.cpu_ratio * skew;
-                // Calibration per-unit constants are per 4 KB base
-                // page; VM work is per page regardless of page size,
-                // adapter work per cell.
-                let pte_mult = if kind == OpKind::CpuPte {
-                    1.0 - PTE_SHARE + PTE_SHARE * self.machine.pte_factor
-                } else {
-                    1.0
-                };
-                fixed
-                    + units as f64
-                        * per_unit_us
-                        * self.cpu_ratio
-                        * skew
-                        * pte_mult
-                        * self.machine.per_page_factor
-            }
-            OpKind::Memory => {
-                // `per_unit_us` is the dimensionless coefficient on the
-                // inverse memory bandwidth (0.96525 for copyout:
-                // 0.96525 * 8/351 = the paper's 0.0220 µs/B on P166).
-                let fixed = fixed_us * self.cpu_ratio;
-                fixed + bytes as f64 * per_unit_us * self.mem_us_per_byte
-            }
+        let line = &self.lines[op.id() as usize];
+        let us = match line.kind {
+            OpKind::Cpu | OpKind::CpuPte => line.fixed_us + units as f64 * line.per_unit_us,
+            OpKind::Memory => line.fixed_us + bytes as f64 * line.per_unit_us,
             OpKind::Cache => {
-                // `per_unit_us` is the coefficient on the inverse L2
-                // bandwidth (1.0935 * 8/486 = the paper's 0.0180 µs/B).
-                let a1 = self.l1_us_per_byte;
-                let a2 = per_unit_us * self.l2_us_per_byte;
+                // Piecewise warm-cache copy: the first bytes run at L1
+                // speed, the rest at the op's L2-scaled rate.
                 let b = bytes as f64;
                 if b <= COPYIN_L1_BYTES {
-                    b * a1
+                    b * self.l1_us_per_byte
                 } else {
-                    COPYIN_L1_BYTES * a1 + (b - COPYIN_L1_BYTES) * a2
+                    COPYIN_L1_BYTES * self.l1_us_per_byte + (b - COPYIN_L1_BYTES) * line.per_unit_us
                 }
             }
-            OpKind::Device => fixed_us + bytes as f64 * per_unit_us,
+            OpKind::Device => line.fixed_us + bytes as f64 * line.per_unit_us,
         };
         SimTime::from_us(us)
     }

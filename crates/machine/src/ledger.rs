@@ -74,6 +74,12 @@ impl CostLedger {
         self.recording = on;
     }
 
+    /// Discards recorded samples (keeping statistics and busy time),
+    /// so one ledger can record several measurement windows.
+    pub fn clear_samples(&mut self) {
+        self.samples.clear();
+    }
+
     /// Charges one invocation of `op` over `bytes` bytes / `units`
     /// units, returning its cost. Accumulates CPU busy time for all
     /// but device-kind operations (adapter datapath latency occupies

@@ -46,15 +46,22 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// Creates a free frame of `page_size` bytes.
+    /// Creates a free frame of `page_size` bytes (zeroed; storage may
+    /// be recycled from a previously dropped `PhysMem`).
     pub fn new(page_size: usize) -> Self {
         Frame {
-            data: vec![0u8; page_size].into_boxed_slice(),
+            data: crate::pool::take_zeroed(page_size),
             in_count: 0,
             out_count: 0,
             state: FrameState::Free,
             owner: None,
         }
+    }
+
+    /// Detaches the page storage (leaving an empty slice behind) so it
+    /// can be recycled when the owning `PhysMem` is dropped.
+    pub(crate) fn take_storage(&mut self) -> Box<[u8]> {
+        core::mem::take(&mut self.data)
     }
 
     /// Frame contents.

@@ -19,6 +19,7 @@
 pub mod error;
 pub mod frame;
 pub mod phys;
+mod pool;
 
 pub use error::MemError;
 pub use frame::{Frame, FrameId, FrameState, IoDir};

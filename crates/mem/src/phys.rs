@@ -17,6 +17,17 @@ pub struct PhysMem {
     deferred_frees: u64,
 }
 
+impl Drop for PhysMem {
+    /// Returns every frame's page storage to the thread-local
+    /// recycling pool, so the next `PhysMem` on this thread (the next
+    /// experiment cell's world) reuses it instead of re-allocating.
+    fn drop(&mut self) {
+        for f in &mut self.frames {
+            crate::pool::recycle(f.take_storage());
+        }
+    }
+}
+
 impl PhysMem {
     /// Creates `frames` frames of `page_size` bytes each.
     pub fn new(page_size: usize, frames: usize) -> Self {
@@ -311,6 +322,47 @@ mod tests {
         let b = m.alloc_zeroed(None).unwrap();
         assert_eq!(b, a, "LIFO reuse expected");
         assert!(m.read(b, 0, 6).unwrap().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn free_list_never_hands_out_frames_with_live_io_refs() {
+        // Exhaustively drain the allocator while one deallocated frame
+        // still has a pending input reference: the zombie must never
+        // come back until the reference is dropped.
+        let mut m = PhysMem::new(4096, 8);
+        let a = m.alloc(Some(1)).unwrap();
+        m.ref_io(a, IoDir::Input).unwrap();
+        m.dealloc(a).unwrap();
+        assert_eq!(m.frame(a).unwrap().state(), FrameState::Zombie);
+        let mut handed_out = 0;
+        while let Ok(f) = m.alloc(None) {
+            assert_ne!(f, a, "allocator handed out a frame with live I/O");
+            assert!(!m.frame(f).unwrap().io_pending());
+            handed_out += 1;
+        }
+        assert_eq!(handed_out, 7);
+        // Once the device drops its reference the frame is reusable.
+        m.unref_io(a, IoDir::Input).unwrap();
+        assert_eq!(m.alloc(None).unwrap(), a);
+    }
+
+    #[test]
+    fn storage_recycled_across_phys_mems_is_scrubbed() {
+        // Page storage recycled through the thread-local pool must not
+        // leak a previous world's data into a new one.
+        {
+            let mut m = PhysMem::new(4096, 4);
+            let a = m.alloc(None).unwrap();
+            m.write(a, 0, b"previous world secret").unwrap();
+        } // dropped: storage goes to the pool
+        let m2 = PhysMem::new(4096, 4);
+        for i in 0..4 {
+            let f = m2.frame(FrameId(i)).unwrap();
+            assert!(
+                f.data().iter().all(|&b| b == 0),
+                "recycled frame pf{i} not zeroed"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Thread-local recycling pool for frame page storage.
+//!
+//! Every `PhysMem` owns one heap allocation per frame; experiment
+//! sweeps build and drop hundreds of two-host worlds, so without
+//! recycling each world re-allocates (and the OS re-zeroes) tens of
+//! megabytes of page storage. Dropping a `PhysMem` instead returns its
+//! page boxes here, and the next `Frame::new` on the same thread
+//! reuses one — `fill(0)` on warm memory is much cheaper than faulting
+//! in fresh pages. The pool is thread-local, so parallel sweep workers
+//! never contend, and it is keyed by page size (machines differ).
+
+use std::cell::RefCell;
+
+/// Upper bound on pooled pages per page size per thread (64 MB of
+/// 4 KB pages): enough for two default worlds, a backstop against
+/// unbounded growth if an experiment builds an unusually large world.
+const MAX_POOLED_PAGES: usize = 16384;
+
+/// Recycled pages for one page size.
+type SizeClass = (usize, Vec<Box<[u8]>>);
+
+thread_local! {
+    /// Recycled page storage, grouped by page size (at most a couple
+    /// of distinct sizes, so a flat list beats a map).
+    static POOL: RefCell<Vec<SizeClass>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes a zero-filled page of `page_size` bytes, reusing recycled
+/// storage when available.
+pub(crate) fn take_zeroed(page_size: usize) -> Box<[u8]> {
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if let Some((_, stash)) = pool.iter_mut().find(|(s, _)| *s == page_size) {
+            if let Some(mut page) = stash.pop() {
+                page.fill(0);
+                return page;
+            }
+        }
+        vec![0u8; page_size].into_boxed_slice()
+    })
+}
+
+/// Returns page storage to the pool (dropped on the floor once the
+/// per-size cap is reached).
+pub(crate) fn recycle(page: Box<[u8]>) {
+    if page.is_empty() {
+        return;
+    }
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        match pool.iter_mut().find(|(s, _)| *s == page.len()) {
+            Some((_, stash)) => {
+                if stash.len() < MAX_POOLED_PAGES {
+                    stash.push(page);
+                }
+            }
+            None => {
+                let size = page.len();
+                pool.push((size, vec![page]));
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycled_page_comes_back_zeroed() {
+        let mut page = take_zeroed(1024);
+        page.fill(0xAB);
+        recycle(page);
+        let again = take_zeroed(1024);
+        assert_eq!(again.len(), 1024);
+        assert!(again.iter().all(|&b| b == 0), "recycled page not scrubbed");
+    }
+
+    #[test]
+    fn sizes_are_kept_apart() {
+        let a = take_zeroed(512);
+        let b = take_zeroed(2048);
+        recycle(a);
+        recycle(b);
+        assert_eq!(take_zeroed(512).len(), 512);
+        assert_eq!(take_zeroed(2048).len(), 2048);
+    }
+}

@@ -1,0 +1,208 @@
+//! Model-based randomized tests for the frame allocator: a shadow
+//! model tracks which frames should be allocated/zombie/free, and
+//! random operation sequences must agree with it while conserving
+//! frames. Sequences come from a deterministic xorshift PRNG (std-only,
+//! no external dependencies) so failures are reproducible.
+
+use genie_mem::{FrameId, FrameState, IoDir, MemError, PhysMem};
+
+/// Deterministic xorshift64* PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform draw from `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[derive(Clone, Debug)]
+enum MemOp {
+    Alloc,
+    Dealloc(usize),
+    RefIo(usize, bool),
+    UnrefIo(usize, bool),
+    Write(usize, u8),
+}
+
+/// Weighted op draw matching the original proptest strategy
+/// (3 alloc : 2 dealloc : 2 ref : 2 unref : 1 write).
+fn arb_op(rng: &mut Rng) -> MemOp {
+    match rng.range(0, 10) {
+        0..=2 => MemOp::Alloc,
+        3..=4 => MemOp::Dealloc(rng.range(0, 64)),
+        5..=6 => MemOp::RefIo(rng.range(0, 64), rng.flip()),
+        7..=8 => MemOp::UnrefIo(rng.range(0, 64), rng.flip()),
+        _ => MemOp::Write(rng.range(0, 64), rng.next_u64() as u8),
+    }
+}
+
+/// Shadow model of one tracked frame.
+#[derive(Clone, Debug, PartialEq)]
+struct FrameModel {
+    ins: u16,
+    outs: u16,
+    dead: bool, // deallocated (zombie if refs pending)
+    byte: Option<u8>,
+}
+
+#[test]
+fn allocator_agrees_with_shadow_model() {
+    let mut rng = Rng::new(7);
+    for case in 0..256 {
+        let steps = rng.range(1, 80);
+        let ops: Vec<MemOp> = (0..steps).map(|_| arb_op(&mut rng)).collect();
+        run_case(case, ops);
+    }
+}
+
+fn run_case(case: usize, ops: Vec<MemOp>) {
+    const FRAMES: usize = 24;
+    let mut mem = PhysMem::new(4096, FRAMES);
+    // Tracked frames we allocated, in order.
+    let mut tracked: Vec<(FrameId, FrameModel)> = Vec::new();
+
+    for op in ops {
+        match op {
+            MemOp::Alloc => {
+                let live = tracked
+                    .iter()
+                    .filter(|(_, m)| !m.dead || m.ins > 0 || m.outs > 0)
+                    .count();
+                match mem.alloc(Some(1)) {
+                    Ok(f) => {
+                        // The allocator must never hand out a frame
+                        // that is still live in the model.
+                        for (tf, m) in &tracked {
+                            if *tf == f {
+                                assert!(
+                                    m.dead && m.ins == 0 && m.outs == 0,
+                                    "case {case}: reallocated live frame {f:?}"
+                                );
+                            }
+                        }
+                        tracked.retain(|(tf, _)| *tf != f);
+                        tracked.push((
+                            f,
+                            FrameModel {
+                                ins: 0,
+                                outs: 0,
+                                dead: false,
+                                byte: None,
+                            },
+                        ));
+                    }
+                    Err(MemError::OutOfFrames) => {
+                        assert!(
+                            live >= FRAMES,
+                            "case {case}: spurious exhaustion at {live} live"
+                        );
+                    }
+                    Err(e) => panic!("case {case}: unexpected alloc error {e}"),
+                }
+            }
+            MemOp::Dealloc(i) => {
+                let n = tracked.len().max(1);
+                if let Some((f, m)) = tracked.get_mut(i % n) {
+                    let r = mem.dealloc(*f);
+                    if m.dead {
+                        assert!(r.is_err(), "case {case}: double free allowed on {f:?}");
+                    } else {
+                        assert!(r.is_ok());
+                        m.dead = true;
+                    }
+                }
+            }
+            MemOp::RefIo(i, input) => {
+                let n = tracked.len().max(1);
+                if let Some((f, m)) = tracked.get_mut(i % n) {
+                    let dir = if input { IoDir::Input } else { IoDir::Output };
+                    let r = mem.ref_io(*f, dir);
+                    if m.dead && m.ins == 0 && m.outs == 0 {
+                        assert!(r.is_err(), "case {case}: ref on free frame allowed");
+                    } else {
+                        assert!(r.is_ok());
+                        if input {
+                            m.ins += 1
+                        } else {
+                            m.outs += 1
+                        }
+                    }
+                }
+            }
+            MemOp::UnrefIo(i, input) => {
+                let n = tracked.len().max(1);
+                if let Some((f, m)) = tracked.get_mut(i % n) {
+                    let dir = if input { IoDir::Input } else { IoDir::Output };
+                    let has = if input { m.ins > 0 } else { m.outs > 0 };
+                    let r = mem.unref_io(*f, dir);
+                    if has {
+                        assert!(r.is_ok());
+                        if input {
+                            m.ins -= 1
+                        } else {
+                            m.outs -= 1
+                        }
+                    } else {
+                        assert!(r.is_err(), "case {case}: refcount underflow allowed");
+                    }
+                }
+            }
+            MemOp::Write(i, b) => {
+                let n = tracked.len().max(1);
+                if let Some((f, m)) = tracked.get_mut(i % n) {
+                    if !m.dead {
+                        mem.write(*f, 7, &[b]).expect("write");
+                        m.byte = Some(b);
+                    }
+                }
+            }
+        }
+
+        // Cross-check states and contents after every step.
+        for (f, m) in &tracked {
+            let fr = mem.frame(*f).expect("tracked frame");
+            let want = if !m.dead {
+                FrameState::Allocated
+            } else if m.ins > 0 || m.outs > 0 {
+                FrameState::Zombie
+            } else {
+                FrameState::Free
+            };
+            // The frame may have been re-allocated by a later Alloc
+            // only if our model says Free; in that case skip.
+            if want != FrameState::Free {
+                assert_eq!(fr.state(), want, "case {case}: frame {f:?} model {m:?}");
+                assert_eq!(fr.in_count(), m.ins);
+                assert_eq!(fr.out_count(), m.outs);
+                if let Some(b) = m.byte {
+                    assert_eq!(mem.read(*f, 7, 1).expect("read")[0], b);
+                }
+            }
+        }
+        // Conservation: free-list + live + zombies == total.
+        let zombies = tracked
+            .iter()
+            .filter(|(f, _)| mem.frame(*f).expect("f").state() == FrameState::Zombie)
+            .count();
+        assert!(mem.free_frames() + (FRAMES - mem.free_frames()) == FRAMES);
+        assert!(zombies <= FRAMES);
+    }
+}

@@ -38,7 +38,12 @@ pub enum Aal5Error {
 /// CRC-32 (IEEE 802.3 polynomial, bit-reversed 0xEDB88320), as AAL5
 /// uses.
 pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xffff_ffffu32;
+    !crc32_update(0xffff_ffff, data)
+}
+
+/// Feeds `data` into a running (pre-inversion) CRC-32 state, so the
+/// CRC can be computed across scattered cell payloads.
+fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
     for &b in data {
         crc ^= u32::from(b);
         for _ in 0..8 {
@@ -46,7 +51,7 @@ pub fn crc32(data: &[u8]) -> u32 {
             crc = (crc >> 1) ^ (0xedb8_8320 & mask);
         }
     }
-    !crc
+    crc
 }
 
 /// Segments `payload` into AAL5 cells on virtual circuit `vc`.
@@ -56,34 +61,70 @@ pub fn crc32(data: &[u8]) -> u32 {
 /// Panics if `payload` exceeds [`AAL5_MAX_PAYLOAD`] (the caller — the
 /// protocol layer — fragments above that).
 pub fn segment(vc: u32, payload: &[u8]) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    segment_into(vc, payload, &mut cells);
+    cells
+}
+
+/// Like [`segment`], but reuses `cells` (cleared first) so repeated
+/// segmentation on a connection allocates no per-PDU cell vector.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`AAL5_MAX_PAYLOAD`].
+pub fn segment_into(vc: u32, payload: &[u8], cells: &mut Vec<Cell>) {
     assert!(payload.len() <= AAL5_MAX_PAYLOAD, "PDU too long for AAL5");
+    cells.clear();
     let total = (payload.len() + AAL5_TRAILER).div_ceil(CELL_PAYLOAD) * CELL_PAYLOAD;
-    let mut pdu = vec![0u8; total];
-    pdu[..payload.len()].copy_from_slice(payload);
+    let n_cells = total / CELL_PAYLOAD;
+    cells.reserve(n_cells);
+    // Build the padded PDU (payload | zero padding | trailer) straight
+    // into the cell array: trailer bytes land in the last cell.
+    for i in 0..n_cells {
+        let start = i * CELL_PAYLOAD;
+        let mut buf = [0u8; CELL_PAYLOAD];
+        if start < payload.len() {
+            let n = CELL_PAYLOAD.min(payload.len() - start);
+            buf[..n].copy_from_slice(&payload[start..start + n]);
+        }
+        cells.push(Cell {
+            vc,
+            payload: buf,
+            last: i + 1 == n_cells,
+        });
+    }
     // Trailer: ... | length (2 bytes) | CRC-32 (4 bytes), preceded by
     // 2 bytes of UU/CPI which we leave zero.
-    let len_pos = total - 6;
-    pdu[len_pos..len_pos + 2].copy_from_slice(&(payload.len() as u16).to_be_bytes());
-    let crc = crc32(&pdu[..total - 4]);
-    pdu[total - 4..].copy_from_slice(&crc.to_be_bytes());
-
-    pdu.chunks_exact(CELL_PAYLOAD)
-        .enumerate()
-        .map(|(i, chunk)| {
-            let mut payload = [0u8; CELL_PAYLOAD];
-            payload.copy_from_slice(chunk);
-            Cell {
-                vc,
-                payload,
-                last: (i + 1) * CELL_PAYLOAD == total,
-            }
-        })
-        .collect()
+    let tail = &mut cells[n_cells - 1].payload;
+    tail[CELL_PAYLOAD - 6..CELL_PAYLOAD - 4].copy_from_slice(&(payload.len() as u16).to_be_bytes());
+    // CRC covers everything up to the CRC field itself; feed it
+    // incrementally per cell to avoid materializing the flat PDU.
+    let mut crc = 0xffff_ffffu32;
+    for (i, c) in cells.iter().enumerate() {
+        let end = if i + 1 == n_cells {
+            CELL_PAYLOAD - 4
+        } else {
+            CELL_PAYLOAD
+        };
+        crc = crc32_update(crc, &c.payload[..end]);
+    }
+    let crc = !crc;
+    cells[n_cells - 1].payload[CELL_PAYLOAD - 4..].copy_from_slice(&crc.to_be_bytes());
 }
 
 /// Reassembles one PDU from its cells, verifying framing, length and
 /// CRC.
 pub fn reassemble(cells: &[Cell]) -> Result<Vec<u8>, Aal5Error> {
+    let mut pdu = Vec::new();
+    reassemble_into(cells, &mut pdu)?;
+    Ok(pdu)
+}
+
+/// Like [`reassemble`], but reuses `pdu` (cleared first) for the
+/// payload, so repeated reassembly on a connection allocates no
+/// per-PDU buffer.
+pub fn reassemble_into(cells: &[Cell], pdu: &mut Vec<u8>) -> Result<(), Aal5Error> {
+    pdu.clear();
     if cells.is_empty() {
         return Err(Aal5Error::Empty);
     }
@@ -93,7 +134,7 @@ pub fn reassemble(cells: &[Cell]) -> Result<Vec<u8>, Aal5Error> {
             return Err(Aal5Error::BadFraming);
         }
     }
-    let mut pdu = Vec::with_capacity(cells.len() * CELL_PAYLOAD);
+    pdu.reserve(cells.len() * CELL_PAYLOAD);
     for c in cells {
         pdu.extend_from_slice(&c.payload);
     }
@@ -113,7 +154,7 @@ pub fn reassemble(cells: &[Cell]) -> Result<Vec<u8>, Aal5Error> {
         return Err(Aal5Error::BadLength);
     }
     pdu.truncate(len);
-    Ok(pdu)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -174,6 +215,19 @@ mod tests {
     #[test]
     fn empty_input_rejected() {
         assert_eq!(reassemble(&[]), Err(Aal5Error::Empty));
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_and_match() {
+        let mut cells = Vec::new();
+        let mut pdu = Vec::new();
+        for len in [0usize, 1, 47, 48, 4096] {
+            let payload: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            segment_into(9, &payload, &mut cells);
+            assert_eq!(cells, segment(9, &payload));
+            reassemble_into(&cells, &mut pdu).expect("reassembly");
+            assert_eq!(pdu, payload);
+        }
     }
 
     #[test]

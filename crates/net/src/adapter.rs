@@ -173,10 +173,23 @@ impl Adapter {
     /// page-referencing discipline is what keeps it safe.
     pub fn dma_gather(phys: &PhysMem, vecs: &[IoVec]) -> Result<Vec<u8>, MemError> {
         let mut out = Vec::with_capacity(vecs.iter().map(|v| v.len).sum());
+        Self::dma_gather_into(phys, vecs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Adapter::dma_gather`], but appends into a caller-provided
+    /// buffer so hot paths can reuse one allocation per connection
+    /// instead of allocating per datagram.
+    pub fn dma_gather_into(
+        phys: &PhysMem,
+        vecs: &[IoVec],
+        out: &mut Vec<u8>,
+    ) -> Result<(), MemError> {
+        out.reserve(vecs.iter().map(|v| v.len).sum());
         for v in vecs {
             out.extend_from_slice(phys.read(v.frame, v.offset, v.len)?);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Receive-side DMA: scatters `bytes` into host frames per the

@@ -30,7 +30,7 @@ pub mod dma;
 pub mod event;
 pub mod proto;
 
-pub use aal5::{reassemble, segment, Cell};
+pub use aal5::{reassemble, reassemble_into, segment, segment_into, Cell};
 pub use adapter::{Adapter, InputBuffering, PostedRx, RxCompletion, Vc};
 pub use credit::CreditState;
 pub use dma::DmaModel;

@@ -1,0 +1,269 @@
+//! Randomized tests for the VM substrate: random operation sequences
+//! must preserve structural invariants (checked by `Vm::validate`),
+//! data written by the application, and frame accounting. Sequences
+//! come from a deterministic xorshift PRNG (std-only, no external
+//! dependencies) so failures are reproducible.
+
+use genie_mem::{IoDir, PhysMem};
+use genie_vm::pageout::PageoutPolicy;
+use genie_vm::{IoDescriptor, RegionMark, SpaceId, Vm};
+
+/// Deterministic xorshift64* PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform draw from `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
+
+/// The operations the fuzzer may apply.
+#[derive(Clone, Debug)]
+enum VmOp {
+    Write {
+        buf: usize,
+        off: usize,
+        len: usize,
+        byte: u8,
+    },
+    Read {
+        buf: usize,
+        off: usize,
+        len: usize,
+    },
+    RefOutput {
+        buf: usize,
+    },
+    RefInput {
+        buf: usize,
+    },
+    UnrefOldest,
+    WriteProtect {
+        buf: usize,
+    },
+    Pageout {
+        max: usize,
+    },
+    CloneCow {
+        buf: usize,
+    },
+}
+
+fn arb_op(rng: &mut Rng) -> VmOp {
+    match rng.range(0, 8) {
+        0 => VmOp::Write {
+            buf: rng.range(0, 3),
+            off: rng.range(0, 4000),
+            len: rng.range(1, 4096),
+            byte: rng.next_u64() as u8,
+        },
+        1 => VmOp::Read {
+            buf: rng.range(0, 3),
+            off: rng.range(0, 4000),
+            len: rng.range(1, 4096),
+        },
+        2 => VmOp::RefOutput {
+            buf: rng.range(0, 3),
+        },
+        3 => VmOp::RefInput {
+            buf: rng.range(0, 3),
+        },
+        4 => VmOp::UnrefOldest,
+        5 => VmOp::WriteProtect {
+            buf: rng.range(0, 3),
+        },
+        6 => VmOp::Pageout {
+            max: rng.range(1, 16),
+        },
+        _ => VmOp::CloneCow {
+            buf: rng.range(0, 3),
+        },
+    }
+}
+
+/// Shadow model of one application buffer.
+struct BufModel {
+    vaddr: u64,
+    len: usize,
+    contents: Vec<u8>,
+}
+
+/// Arbitrary interleavings of writes, reads, I/O referencing, pageout,
+/// write-protection and COW cloning keep the VM structurally
+/// consistent and never lose application data.
+#[test]
+fn random_op_sequences_preserve_invariants() {
+    let mut rng = Rng::new(8);
+    for case in 0..64 {
+        let steps = rng.range(1, 60);
+        let ops: Vec<VmOp> = (0..steps).map(|_| arb_op(&mut rng)).collect();
+        run_case(case, ops);
+    }
+}
+
+fn run_case(case: usize, ops: Vec<VmOp>) {
+    let mut vm = Vm::new(PhysMem::new(4096, 512));
+    let space = vm.create_space();
+    let clone_space = vm.create_space();
+    // Three app buffers of two pages each, pre-filled.
+    let mut bufs: Vec<BufModel> = (0..3)
+        .map(|i| {
+            let len = 2 * 4096;
+            let vaddr = vm.alloc_app_buffer(space, len).expect("buffer");
+            let contents = vec![i as u8 + 1; len];
+            vm.write_app(space, vaddr, &contents).expect("fill");
+            BufModel {
+                vaddr,
+                len,
+                contents,
+            }
+        })
+        .collect();
+    let mut pending: Vec<IoDescriptor> = Vec::new();
+
+    for op in ops {
+        match op {
+            VmOp::Write {
+                buf,
+                off,
+                len,
+                byte,
+            } => {
+                let b = &mut bufs[buf];
+                let off = off.min(b.len - 1);
+                let len = len.min(b.len - off);
+                let data = vec![byte; len];
+                vm.write_app(space, b.vaddr + off as u64, &data)
+                    .expect("write");
+                b.contents[off..off + len].fill(byte);
+            }
+            VmOp::Read { buf, off, len } => {
+                let b = &bufs[buf];
+                let off = off.min(b.len - 1);
+                let len = len.min(b.len - off);
+                let (got, _) = vm.read_app(space, b.vaddr + off as u64, len).expect("read");
+                assert_eq!(&got[..], &b.contents[off..off + len], "case {case}");
+            }
+            VmOp::RefOutput { buf } => {
+                let b = &bufs[buf];
+                let (d, _) = vm
+                    .reference_pages(space, b.vaddr, b.len, IoDir::Output)
+                    .expect("reference");
+                pending.push(d);
+            }
+            VmOp::RefInput { buf } => {
+                let b = &bufs[buf];
+                let (d, _) = vm
+                    .reference_pages(space, b.vaddr, b.len, IoDir::Input)
+                    .expect("reference");
+                pending.push(d);
+            }
+            VmOp::UnrefOldest => {
+                if !pending.is_empty() {
+                    let d = pending.remove(0);
+                    vm.unreference(&d).expect("unreference");
+                }
+            }
+            VmOp::WriteProtect { buf } => {
+                let b = &bufs[buf];
+                vm.write_protect(space, b.vaddr, b.len);
+            }
+            VmOp::Pageout { max } => {
+                vm.pageout_scan(max, PageoutPolicy::InputDisabled)
+                    .expect("pageout");
+            }
+            VmOp::CloneCow { buf } => {
+                let b = &bufs[buf];
+                let h = vm.region_at(space, b.vaddr).expect("region");
+                let (clone, _physical) = vm.clone_region_cow(h, clone_space).expect("clone");
+                // The clone must read identical contents.
+                let (got, _) = vm
+                    .read_app(clone_space, clone.start_vpn * 4096, b.len)
+                    .expect("clone read");
+                assert_eq!(&got[..], &b.contents[..], "case {case}");
+            }
+        }
+        let problems = vm.validate();
+        assert!(
+            problems.is_empty(),
+            "case {case}: invariants violated: {problems:?}"
+        );
+    }
+
+    // Drain pending I/O and verify all data once more.
+    for d in pending.drain(..) {
+        vm.unreference(&d).expect("unreference");
+    }
+    for b in &bufs {
+        let (got, _) = vm.read_app(space, b.vaddr, b.len).expect("final read");
+        assert_eq!(&got[..], &b.contents[..], "case {case}");
+    }
+    let problems = vm.validate();
+    assert!(
+        problems.is_empty(),
+        "case {case}: final invariants violated: {problems:?}"
+    );
+}
+
+/// Alternating pageout and access across two spaces sharing COW pages
+/// never mixes their data.
+#[test]
+fn cow_isolation_under_memory_pressure() {
+    let mut rng = Rng::new(9);
+    for case in 0..64 {
+        let writes: Vec<(usize, u8)> = (0..rng.range(1, 20))
+            .map(|_| (rng.range(0, 8192), rng.next_u64() as u8))
+            .collect();
+
+        let mut vm = Vm::new(PhysMem::new(4096, 256));
+        let s1 = vm.create_space();
+        let s2 = vm.create_space();
+        let va = vm.alloc_app_buffer(s1, 8192).expect("buffer");
+        let original = vec![0xeeu8; 8192];
+        vm.write_app(s1, va, &original).expect("fill");
+        let h = vm.region_at(s1, va).expect("region");
+        let (clone, physical) = vm.clone_region_cow(h, s2).expect("clone");
+        assert!(!physical);
+        let clone_va = clone.start_vpn * 4096;
+
+        let mut s1_model = original.clone();
+        for (off, byte) in writes {
+            vm.write_app(s1, va + off as u64, &[byte])
+                .expect("cow write");
+            s1_model[off] = byte;
+            vm.pageout_scan(4, PageoutPolicy::InputDisabled)
+                .expect("pressure");
+            let problems = vm.validate();
+            assert!(problems.is_empty(), "case {case}: {problems:?}");
+        }
+        let (got1, _) = vm.read_app(s1, va, 8192).expect("s1");
+        let (got2, _) = vm.read_app(s2, clone_va, 8192).expect("s2");
+        assert_eq!(got1, s1_model, "case {case}");
+        assert_eq!(got2, original, "case {case}");
+    }
+}
+
+#[test]
+fn validate_reports_clean_fresh_vm() {
+    let mut vm = Vm::new(PhysMem::new(4096, 16));
+    let s = vm.create_space();
+    let va = vm.alloc_app_buffer(s, 4096).expect("buffer");
+    vm.write_app(s, va, b"x").expect("write");
+    assert!(vm.validate().is_empty());
+    let _ = SpaceId(0);
+    let _ = RegionMark::MovedIn;
+}

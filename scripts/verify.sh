@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full verification gate: static checks, build, tests, and a
+# determinism spot-check of the report binary (serial vs 4 threads must
+# render byte-identical output).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test --workspace -q
+
+echo "== report determinism (serial vs 4 threads) =="
+tmp_serial=$(mktemp) && tmp_par=$(mktemp)
+trap 'rm -f "$tmp_serial" "$tmp_par"' EXIT
+./target/release/report all --threads 1 >"$tmp_serial" 2>/dev/null
+./target/release/report all --threads 4 >"$tmp_par" 2>/dev/null
+cmp "$tmp_serial" "$tmp_par"
+cmp "$tmp_serial" report_output.txt
+
+echo "verify: all checks passed"

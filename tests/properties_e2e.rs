@@ -1,40 +1,60 @@
-//! Property-based end-to-end tests: arbitrary payloads, sizes,
-//! alignments and semantics must always deliver byte-exact data, and
-//! the reverse-copyout planner must always cover every byte exactly
-//! once while staying under its copy bound.
+//! Randomized end-to-end tests: arbitrary payloads, sizes, alignments
+//! and semantics must always deliver byte-exact data, and the
+//! reverse-copyout planner must always cover every byte exactly once
+//! while staying under its copy bound. Cases come from a deterministic
+//! xorshift PRNG (std-only, no external dependencies).
 
 use genie::{
     plan_aligned_input, HostId, InputRequest, OutputRequest, PageAction, Semantics, World,
     WorldConfig,
 };
 use genie_net::Vc;
-use proptest::prelude::*;
 
-fn arb_semantics() -> impl Strategy<Value = Semantics> {
-    prop::sample::select(Semantics::ALL.to_vec())
+/// Deterministic xorshift64* PRNG.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform draw from `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    fn pick<T: Copy>(&mut self, xs: &[T]) -> T {
+        xs[self.range(0, xs.len())]
+    }
 }
 
-fn arb_rx_mode() -> impl Strategy<Value = genie_net::InputBuffering> {
-    prop::sample::select(vec![
-        genie_net::InputBuffering::EarlyDemux,
-        genie_net::InputBuffering::Pooled,
-        genie_net::InputBuffering::Outboard,
-    ])
-}
+const RX_MODES: [genie_net::InputBuffering; 3] = [
+    genie_net::InputBuffering::EarlyDemux,
+    genie_net::InputBuffering::Pooled,
+    genie_net::InputBuffering::Outboard,
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Any (semantics, buffering, size, alignment, payload) delivers
+/// byte-exact data at a valid location.
+#[test]
+fn delivery_is_byte_exact() {
+    let mut rng = Rng::new(10);
+    for case in 0..48 {
+        let semantics = rng.pick(&Semantics::ALL);
+        let rx_mode = rng.pick(&RX_MODES);
+        let len = rng.range(1, 20_000);
+        let page_off = rng.range(0, 4096);
+        let seed = rng.next_u64() as u8;
 
-    /// Any (semantics, buffering, size, alignment, payload) delivers
-    /// byte-exact data at a valid location.
-    #[test]
-    fn delivery_is_byte_exact(
-        semantics in arb_semantics(),
-        rx_mode in arb_rx_mode(),
-        len in 1usize..20_000,
-        page_off in 0usize..4096,
-        seed in any::<u8>(),
-    ) {
         let cfg = WorldConfig {
             rx_buffering: rx_mode,
             frames_per_host: 512,
@@ -43,7 +63,9 @@ proptest! {
         let mut world = World::new(cfg);
         let tx = world.create_process(HostId::A);
         let rx = world.create_process(HostId::B);
-        let data: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(7).wrapping_add(seed)).collect();
+        let data: Vec<u8> = (0..len)
+            .map(|i| (i as u8).wrapping_mul(7).wrapping_add(seed))
+            .collect();
 
         let src = match semantics.allocation() {
             genie::Allocation::Application => world
@@ -75,60 +97,72 @@ proptest! {
             }
         }
         world
-            .output(HostId::A, OutputRequest::new(semantics, Vc(1), tx, src, len))
+            .output(
+                HostId::A,
+                OutputRequest::new(semantics, Vc(1), tx, src, len),
+            )
             .expect("output");
         world.run();
         let done = world.take_completed_inputs();
-        prop_assert_eq!(done.len(), 1);
+        assert_eq!(done.len(), 1, "case {case}");
         let c = done[0];
-        prop_assert_eq!(c.len, len);
+        assert_eq!(c.len, len, "case {case}");
         let got = world.read_app(HostId::B, rx, c.vaddr, c.len).expect("read");
-        prop_assert_eq!(got, data);
+        assert_eq!(got, data, "case {case}");
     }
+}
 
-    /// The reverse-copyout plan covers every byte exactly once, never
-    /// copies more than the threshold per page, and its page count
-    /// matches the span.
-    #[test]
-    fn swap_plan_invariants(
-        page_off in 0usize..4096,
-        len in 1usize..65_000,
-        threshold in 0usize..4097,
-    ) {
+/// The reverse-copyout plan covers every byte exactly once, never
+/// copies more than the threshold per page, and its page count matches
+/// the span.
+#[test]
+fn swap_plan_invariants() {
+    let mut rng = Rng::new(11);
+    for case in 0..256 {
+        let page_off = rng.range(0, 4096);
+        let len = rng.range(1, 65_000);
+        let threshold = rng.range(0, 4097);
+
         let plans = plan_aligned_input(4096, page_off, len, threshold);
         let covered: usize = plans.iter().map(|p| p.data_len).sum();
-        prop_assert_eq!(covered, len);
-        prop_assert_eq!(plans.len(), (page_off + len).div_ceil(4096));
+        assert_eq!(covered, len, "case {case}");
+        assert_eq!(plans.len(), (page_off + len).div_ceil(4096), "case {case}");
         let mut expected_start = page_off;
         for p in &plans {
-            prop_assert_eq!(p.data_start, expected_start);
-            prop_assert!(p.data_start + p.data_len <= 4096);
+            assert_eq!(p.data_start, expected_start, "case {case}");
+            assert!(p.data_start + p.data_len <= 4096, "case {case}");
             match p.action {
                 PageAction::CopyOut => {
-                    prop_assert!(p.data_len <= threshold || p.data_len == 0)
+                    assert!(p.data_len <= threshold || p.data_len == 0, "case {case}")
                 }
                 PageAction::SwapWhole => {
-                    prop_assert_eq!(p.data_len, 4096);
-                    prop_assert_eq!(p.data_start, 0);
+                    assert_eq!(p.data_len, 4096, "case {case}");
+                    assert_eq!(p.data_start, 0, "case {case}");
                 }
-                PageAction::FillAndSwap { fill_prefix, fill_suffix } => {
-                    prop_assert!(p.data_len > threshold);
-                    prop_assert_eq!(fill_prefix, p.data_start);
-                    prop_assert_eq!(fill_prefix + p.data_len + fill_suffix, 4096);
+                PageAction::FillAndSwap {
+                    fill_prefix,
+                    fill_suffix,
+                } => {
+                    assert!(p.data_len > threshold, "case {case}");
+                    assert_eq!(fill_prefix, p.data_start, "case {case}");
+                    assert_eq!(fill_prefix + p.data_len + fill_suffix, 4096, "case {case}");
                 }
             }
             expected_start = 0;
         }
     }
+}
 
-    /// Back-to-back datagrams on one VC arrive in order with
-    /// consecutive sequence numbers, whatever the semantics.
-    #[test]
-    fn pipelined_datagrams_stay_ordered(
-        semantics in arb_semantics(),
-        count in 2usize..6,
-        len in 100usize..8000,
-    ) {
+/// Back-to-back datagrams on one VC arrive in order with consecutive
+/// sequence numbers, whatever the semantics.
+#[test]
+fn pipelined_datagrams_stay_ordered() {
+    let mut rng = Rng::new(12);
+    for case in 0..48 {
+        let semantics = rng.pick(&Semantics::ALL);
+        let count = rng.range(2, 6);
+        let len = rng.range(100, 8000);
+
         let cfg = WorldConfig {
             frames_per_host: 1024,
             ..WorldConfig::default()
@@ -158,7 +192,6 @@ proptest! {
         for i in 0..count {
             let src = match semantics.allocation() {
                 genie::Allocation::Application => {
-
                     world.alloc_buffer(HostId::A, tx, len, 0).expect("src")
                 }
                 genie::Allocation::System => {
@@ -173,16 +206,22 @@ proptest! {
                 .app_write(HostId::A, tx, src, &vec![i as u8 + 1; len])
                 .expect("fill");
             world
-                .output(HostId::A, OutputRequest::new(semantics, Vc(1), tx, src, len))
+                .output(
+                    HostId::A,
+                    OutputRequest::new(semantics, Vc(1), tx, src, len),
+                )
                 .expect("output");
         }
         world.run();
         let done = world.take_completed_inputs();
-        prop_assert_eq!(done.len(), count);
+        assert_eq!(done.len(), count, "case {case}");
         for (i, c) in done.iter().enumerate() {
-            prop_assert_eq!(c.seq as usize, i);
+            assert_eq!(c.seq as usize, i, "case {case}");
             let got = world.read_app(HostId::B, rx, c.vaddr, c.len).expect("read");
-            prop_assert!(got.iter().all(|&b| b == i as u8 + 1), "datagram {} corrupted", i);
+            assert!(
+                got.iter().all(|&b| b == i as u8 + 1),
+                "case {case}: datagram {i} corrupted"
+            );
         }
     }
 }
