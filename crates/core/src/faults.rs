@@ -1,0 +1,398 @@
+//! Fault-injection hooks and recovery machinery for the datapath.
+//!
+//! Everything here is gated on [`FaultPlan::active`]: with
+//! `FaultPlan::none()` (the default) no hook changes any state, no
+//! event is added, and the simulation is byte-identical to a world
+//! without the fault subsystem — the `report` determinism gate relies
+//! on this.
+//!
+//! With an active plan the world gains the robustness semantics the
+//! paper's network (Credit Net ATM) leaves to higher layers:
+//!
+//! - **AAL5 CRC drop detection**: a damaged PDU is segmented into real
+//!   cells, the damage applied, and reassembly attempted; reassembly
+//!   failure discards the PDU at the receiving adapter.
+//! - **Per-VC retransmission**: the sending adapter keeps the wire
+//!   image of each unacknowledged PDU and retransmits with exponential
+//!   backoff when the receiver reports damage or buffer exhaustion.
+//! - **In-order delivery**: the receiver holds out-of-order PDUs per
+//!   VC and releases them gaplessly by sequence number, so recovery is
+//!   invisible above the datapath.
+//!
+//! The in-order gate assumes each VC carries traffic toward one host
+//! (sequence numbers are per VC), which every experiment in this
+//! repository honors; fault-free worlds have no such restriction.
+
+use std::collections::BTreeMap;
+
+use genie_fault::{FaultConfig, FaultPlan, FaultStats, Oracle, WireDamage};
+use genie_machine::link::CELL_PAYLOAD;
+use genie_machine::{Op, SimTime};
+use genie_mem::FrameId;
+use genie_net::{aal5, Vc};
+use genie_vm::pageout::PageoutPolicy;
+
+use crate::world::{Event, HostId, World};
+
+/// Retransmission attempts before a PDU is abandoned.
+const MAX_RETRANSMIT_ATTEMPTS: u32 = 10;
+/// Local redelivery attempts (receiver-side buffer-exhaustion retries)
+/// before falling back to a sender retransmission.
+const MAX_REDELIVER_TRIES: u32 = 50;
+/// Free frames the pressure injector always leaves available, so
+/// hoarding exercises allocation pressure without wedging the
+/// datapath's own (small, bounded) frame needs.
+const HOARD_MARGIN: usize = 64;
+
+/// A PDU the sending adapter holds for possible retransmission: its
+/// wire image (header + payload as gathered at first transmission),
+/// matching an adapter-resident retransmit buffer — the host-side
+/// frames may be disposed or reused long before recovery finishes.
+#[derive(Debug)]
+pub(crate) struct Inflight {
+    pub from: HostId,
+    pub vc: Vc,
+    pub bytes: Vec<u8>,
+    pub cells: usize,
+    pub sent_at: SimTime,
+    pub attempts: u32,
+}
+
+/// An intact PDU the receiver is holding: either waiting for its
+/// predecessors in sequence order, or waiting for buffering to free up.
+#[derive(Debug)]
+pub(crate) struct HeldPdu {
+    pub token: u64,
+    pub payload: Vec<u8>,
+    pub sent_at: SimTime,
+    pub tries: u32,
+}
+
+/// All per-world fault state.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    pub plan: FaultPlan,
+    pub stats: FaultStats,
+    pub oracle: Option<Oracle>,
+    /// Sender-side retransmit buffers by output token.
+    pub inflight: BTreeMap<u64, Inflight>,
+    /// Receiver-side hold queues by (host index, VC) and sequence.
+    pub rx_held: BTreeMap<(usize, u32), BTreeMap<u32, HeldPdu>>,
+    /// Next sequence number each (host index, VC) will release.
+    pub rx_next_seq: BTreeMap<(usize, u32), u32>,
+    /// Frames hoarded by pressure episodes, per host.
+    pub hoard: [Vec<FrameId>; 2],
+}
+
+impl FaultState {
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultState {
+            plan: FaultPlan::new(cfg),
+            stats: FaultStats::default(),
+            oracle: None,
+            inflight: BTreeMap::new(),
+            rx_held: BTreeMap::new(),
+            rx_next_seq: BTreeMap::new(),
+            hoard: [Vec::new(), Vec::new()],
+        }
+    }
+}
+
+fn backoff(attempts: u32) -> SimTime {
+    SimTime::from_us(150.0 * f64::from(1u32 << attempts.min(6)))
+}
+
+impl World {
+    /// Enables the invariant oracle: structural sweeps after every
+    /// event, end-to-end checks per delivery. Independent of whether
+    /// faults are configured.
+    pub fn enable_oracle(&mut self) {
+        if self.fault.oracle.is_none() {
+            self.fault.oracle = Some(Oracle::new());
+        }
+    }
+
+    /// The invariant oracle, if enabled.
+    pub fn oracle(&self) -> Option<&Oracle> {
+        self.fault.oracle.as_ref()
+    }
+
+    /// Fault-injection and recovery counters for this world.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.stats
+    }
+
+    /// The fault configuration this world was built with.
+    pub fn fault_config(&self) -> FaultConfig {
+        *self.fault.plan.config()
+    }
+
+    /// Applies cell-level damage to a PDU's wire image through the
+    /// real AAL5 codec. Returns true if the PDU still reassembles to
+    /// the original bytes (benign damage, e.g. swapping identical
+    /// cells); false means the receiving adapter will discard it.
+    pub(crate) fn apply_wire_damage(&mut self, vc: Vc, bytes: &[u8], damage: WireDamage) -> bool {
+        let mut cells = aal5::segment(vc.0, bytes);
+        match damage {
+            WireDamage::DropCell(i) => {
+                if i < cells.len() {
+                    cells.remove(i);
+                }
+            }
+            WireDamage::CorruptCell(i) => {
+                if let Some(c) = cells.get_mut(i) {
+                    c.payload[7] ^= 0x20;
+                }
+            }
+            WireDamage::SwapCells(i, j) => {
+                if j < cells.len() {
+                    cells.swap(i, j);
+                }
+            }
+        }
+        match aal5::reassemble(&cells) {
+            Ok(pdu) => pdu == bytes,
+            Err(_) => false,
+        }
+    }
+
+    /// Transient credit starvation: steal credits from the sender's VC
+    /// and schedule their restoration.
+    pub(crate) fn maybe_starve_credits(&mut self, time: SimTime, from: HostId, vc: Vc) {
+        let Some(starve) = self.fault.plan.credit_starve() else {
+            return;
+        };
+        let adapter = &mut self.hosts[from.idx()].adapter;
+        let steal = starve.cells.min(adapter.credits_mut(vc).available());
+        if steal > 0 && adapter.try_send_credits(vc, steal) {
+            self.fault.stats.credit_starvations += 1;
+            self.events.push(
+                time + starve.hold,
+                Event::RestoreCredits {
+                    host: from,
+                    vc,
+                    cells: steal,
+                },
+            );
+        }
+    }
+
+    /// Restores credits a starvation episode withheld, and wakes the
+    /// VC's transmit queue in case a PDU stalled on them.
+    pub(crate) fn on_restore_credits(&mut self, time: SimTime, host: HostId, vc: Vc, cells: u32) {
+        self.hosts[host.idx()].adapter.return_credits(vc, cells);
+        if let Some(&front) = self
+            .txq
+            .get(&(host.idx(), vc.0))
+            .and_then(std::collections::VecDeque::front)
+        {
+            self.events.push(time, Event::Transmit { token: front });
+        }
+    }
+
+    /// Schedules a retransmission of `token` with exponential backoff,
+    /// abandoning the PDU after the attempt cap.
+    pub(crate) fn schedule_retransmit(&mut self, time: SimTime, token: u64) {
+        let Some(inf) = self.fault.inflight.get_mut(&token) else {
+            return; // already delivered or abandoned
+        };
+        inf.attempts += 1;
+        if inf.attempts > MAX_RETRANSMIT_ATTEMPTS {
+            self.fault.stats.retransmits_abandoned += 1;
+            self.fault.inflight.remove(&token);
+            return;
+        }
+        let at = time + backoff(inf.attempts);
+        self.events.push(at, Event::Retransmit { token });
+    }
+
+    /// Retransmit event: resend the stored wire image on its VC. The
+    /// retransmission itself goes through the fault plan, so repeated
+    /// damage keeps recovering until the plan's budget runs dry.
+    pub(crate) fn on_retransmit(&mut self, time: SimTime, token: u64) {
+        let Some(inf) = self.fault.inflight.get(&token) else {
+            return; // delivered in the meantime
+        };
+        let (from, vc, cells, sent_at) = (inf.from, inf.vc, inf.cells, inf.sent_at);
+        let bytes = inf.bytes.clone();
+        let total = bytes.len();
+        if !self.hosts[from.idx()]
+            .adapter
+            .try_send_credits(vc, cells as u32)
+        {
+            self.events
+                .push(time + SimTime::from_us(50.0), Event::Retransmit { token });
+            return;
+        }
+        self.fault.stats.retransmits += 1;
+        self.hosts[from.idx()].charge_overlapped(Op::CellTx, total, cells);
+        let dev_rx = self.hosts[from.peer().idx()].charge_overlapped(Op::DeviceFixedRecv, 0, 0);
+        let wire_start = time.max(self.link_busy_until[from.idx()]);
+        let wire_done = wire_start + self.link.wire_time(total);
+        self.link_busy_until[from.idx()] = wire_done;
+        let mut arrival = wire_done + self.link.fixed_latency + dev_rx;
+
+        let verdict = self.fault.plan.wire(cells);
+        if let Some(extra) = verdict.extra_delay {
+            self.fault.stats.pdus_delayed += 1;
+            arrival += extra;
+        }
+        let intact = match verdict.damage {
+            Some(damage) => self.apply_wire_damage(vc, &bytes, damage),
+            None => true,
+        };
+        if intact {
+            let mut payload = self.take_payload_buf();
+            payload.extend_from_slice(&bytes);
+            self.events.push(
+                arrival,
+                Event::Arrive {
+                    to: from.peer(),
+                    vc,
+                    payload,
+                    sent_at,
+                    cells,
+                    token,
+                },
+            );
+        } else {
+            self.fault.stats.pdus_damaged += 1;
+            self.events.push(
+                arrival,
+                Event::ArriveDamaged {
+                    to: from.peer(),
+                    vc,
+                    token,
+                    cells,
+                },
+            );
+        }
+    }
+
+    /// A damaged PDU reached the receiving adapter: AAL5 reassembly
+    /// failed, so the PDU is discarded after its cells drained the
+    /// buffer (credits still return), and the sender retransmits.
+    pub(crate) fn on_arrive_damaged(
+        &mut self,
+        time: SimTime,
+        to: HostId,
+        vc: Vc,
+        token: u64,
+        cells: usize,
+    ) {
+        self.fault.stats.crc_drops += 1;
+        {
+            let host = self.host_mut(to);
+            host.clock = host.clock.max(time);
+            host.charge_overlapped(Op::CellRx, cells * CELL_PAYLOAD, cells);
+        }
+        self.hosts[to.peer().idx()]
+            .adapter
+            .return_credits(vc, cells as u32);
+        if let Some(&front) = self
+            .txq
+            .get(&(to.peer().idx(), vc.0))
+            .and_then(std::collections::VecDeque::front)
+        {
+            let wake = time + self.link.fixed_latency;
+            self.events.push(wake, Event::Transmit { token: front });
+        }
+        self.schedule_retransmit(time, token);
+    }
+
+    /// Releases every frame a pressure episode hoarded on `host`.
+    pub(crate) fn on_release_hoard(&mut self, host: HostId) {
+        let frames = std::mem::take(&mut self.fault.hoard[host.idx()]);
+        for f in frames {
+            let _ = self.hosts[host.idx()].vm.phys.dealloc(f);
+        }
+    }
+
+    /// Consulted after every event with an active plan: maybe starts a
+    /// memory-pressure episode (pageout storm plus a transient frame
+    /// hoard) on one host.
+    pub(crate) fn inject_pressure(&mut self, time: SimTime) {
+        let Some(p) = self.fault.plan.pressure() else {
+            return;
+        };
+        self.fault.stats.pressure_events += 1;
+        let hid = if p.host == 0 { HostId::A } else { HostId::B };
+        // The storm runs the paper's input-disabled daemon, racing any
+        // pending DMA input on purpose: pages with input references
+        // must be skipped, which the stats (and the oracle) witness.
+        if let Ok(st) = self.hosts[p.host]
+            .vm
+            .pageout_scan(p.pageout_pages, PageoutPolicy::InputDisabled)
+        {
+            self.fault.stats.pages_stormed_out += st.paged_out as u64;
+            self.fault.stats.pageout_skipped_input += st.skipped_input_referenced as u64;
+        }
+        let free = self.hosts[p.host].vm.phys.free_frames();
+        let take = p.hoard_frames.min(free.saturating_sub(HOARD_MARGIN));
+        for _ in 0..take {
+            if let Ok(f) = self.hosts[p.host].vm.phys.alloc(None) {
+                self.fault.hoard[p.host].push(f);
+            }
+        }
+        if take > 0 {
+            self.fault.stats.frames_hoarded += take as u64;
+            self.events
+                .push(time + p.hold, Event::ReleaseHoard { host: hid });
+        }
+    }
+
+    /// Structural oracle sweep over both hosts (runs after every event
+    /// when the oracle is enabled).
+    pub(crate) fn oracle_sweep(&mut self) {
+        let Some(mut o) = self.fault.oracle.take() else {
+            return;
+        };
+        o.check_vm("host A", &self.hosts[0].vm);
+        o.check_vm("host B", &self.hosts[1].vm);
+        self.fault.oracle = Some(o);
+    }
+
+    /// Releases held PDUs for `(to, vc)` in gapless sequence order,
+    /// delivering each through the normal datapath. A PDU that cannot
+    /// be buffered stays held and is retried (then re-requested from
+    /// the sender), without advancing the sequence window.
+    pub(crate) fn drain_in_order(&mut self, time: SimTime, to: HostId, vc: Vc) {
+        let key = (to.idx(), vc.0);
+        loop {
+            let next = *self.fault.rx_next_seq.get(&key).unwrap_or(&0);
+            let Some(mut held) = self
+                .fault
+                .rx_held
+                .get_mut(&key)
+                .and_then(|m| m.remove(&next))
+            else {
+                return;
+            };
+            let consumed = self.deliver_pdu(to, vc, &held.payload, held.sent_at);
+            if consumed {
+                self.fault.rx_next_seq.insert(key, next + 1);
+                self.fault.inflight.remove(&held.token);
+                self.recycle_payload(held.payload);
+                continue;
+            }
+            // Out of buffering: the sequence window stays put so later
+            // PDUs keep waiting behind this one.
+            self.fault.stats.buffer_drops += 1;
+            held.tries += 1;
+            if held.tries > MAX_REDELIVER_TRIES {
+                let token = held.token;
+                self.recycle_payload(held.payload);
+                self.schedule_retransmit(time, token);
+            } else {
+                self.fault
+                    .rx_held
+                    .get_mut(&key)
+                    .expect("entry")
+                    .insert(next, held);
+                self.events
+                    .push(time + SimTime::from_us(100.0), Event::Redeliver { to, vc });
+            }
+            return;
+        }
+    }
+}

@@ -239,16 +239,20 @@ impl World {
         }
     }
 
-    /// Arrival event: ready-stage buffering, then dispose if an input
-    /// is pending.
+    /// Arrival event: adapter-level accounting and credit return, then
+    /// delivery — direct in a fault-free world, gated by per-VC
+    /// sequence order when a fault plan is active (so retransmissions
+    /// slot back in order).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_arrive(
         &mut self,
         time: SimTime,
         to: HostId,
         vc: Vc,
-        payload: &[u8],
+        payload: Vec<u8>,
         sent_at: SimTime,
         cells: usize,
+        token: u64,
     ) {
         let total = payload.len();
         {
@@ -273,35 +277,83 @@ impl World {
                 .push(wake, crate::world::Event::Transmit { token: front });
         }
 
+        if !self.fault.plan.active() {
+            self.deliver_pdu(to, vc, &payload, sent_at);
+            self.recycle_payload(payload);
+            return;
+        }
+
+        // Faulted world: hold the PDU until every lower sequence number
+        // on this VC has been delivered, discarding stale arrivals.
+        let header = DatagramHeader::decode(&payload).expect("header fits");
+        let seq = header.seq;
+        let key = (to.idx(), vc.0);
+        let next = *self.fault.rx_next_seq.get(&key).unwrap_or(&0);
+        let already_held = self
+            .fault
+            .rx_held
+            .get(&key)
+            .is_some_and(|m| m.contains_key(&seq));
+        if seq < next || already_held {
+            self.fault.stats.duplicates_discarded += 1;
+            self.fault.inflight.remove(&token);
+            self.recycle_payload(payload);
+            return;
+        }
+        if seq > next {
+            self.fault.stats.held_for_reorder += 1;
+        }
+        self.fault.rx_held.entry(key).or_default().insert(
+            seq,
+            crate::faults::HeldPdu {
+                token,
+                payload,
+                sent_at,
+                tries: 0,
+            },
+        );
+        self.drain_in_order(time, to, vc);
+    }
+
+    /// Ready-stage buffering and dispose for one intact PDU; returns
+    /// false if the PDU had to be dropped for lack of buffering (the
+    /// pending input, if any, is reposted for the next PDU).
+    pub(crate) fn deliver_pdu(
+        &mut self,
+        to: HostId,
+        vc: Vc,
+        payload: &[u8],
+        sent_at: SimTime,
+    ) -> bool {
         let header = DatagramHeader::decode(payload).expect("header fits");
-        let data_len = header.len as usize;
         let key = (to.idx(), vc.0);
         let pending = self.recvs.get_mut(&key).and_then(VecDeque::pop_front);
 
         match pending {
-            Some(p) => {
-                let placed = self.place_for_pending(to, &p, payload);
-                match placed {
-                    Some(placed) => {
-                        self.dispose_input(to, p, placed, header, sent_at);
-                    }
-                    None => {
-                        // Dropped for lack of buffering: repost the
-                        // pending input for the next PDU.
-                        self.recvs.get_mut(&key).expect("entry").push_front(p);
-                    }
+            Some(p) => match self.place_for_pending(to, &p, payload) {
+                Some(placed) => {
+                    self.dispose_input(to, p, placed, header, sent_at);
+                    true
                 }
-            }
+                None => {
+                    // Dropped for lack of buffering: repost the
+                    // pending input for the next PDU.
+                    self.recvs.get_mut(&key).expect("entry").push_front(p);
+                    false
+                }
+            },
             None => {
                 // Unsolicited: buffer via the pool (or outboard) and
                 // backlog.
-                let _ = data_len;
-                let placed = self.place_unsolicited(to, vc, payload);
-                if let Some(placed) = placed {
-                    self.backlog
-                        .entry(key)
-                        .or_default()
-                        .push_back(BackloggedPdu { placed, sent_at });
+                match self.place_unsolicited(to, vc, payload) {
+                    Some(placed) => {
+                        self.backlog
+                            .entry(key)
+                            .or_default()
+                            .push_back(BackloggedPdu { placed, sent_at });
+                        true
+                    }
+                    None => false,
                 }
             }
         }
@@ -499,6 +551,20 @@ impl World {
         } else {
             true
         };
+
+        // Oracle: the delivered bytes and sequence number, checked
+        // against the sender's promise and the gapless-ordering rule.
+        if self.fault.oracle.is_some() {
+            let (got, _) = self
+                .host_mut(to)
+                .vm
+                .read_app(p.space, vaddr, data_len)
+                .expect("delivered data readable");
+            let fp = genie_fault::fnv64(&got);
+            if let Some(o) = self.fault.oracle.as_mut() {
+                o.on_delivery(to.idx(), u32::from(header.src_port), header.seq, fp);
+            }
+        }
 
         let completed_at = self.host(to).clock;
         self.done_recvs.push(RecvCompletion {

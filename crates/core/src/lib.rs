@@ -54,6 +54,7 @@ pub mod align;
 pub mod config;
 pub mod error;
 pub mod experiment;
+pub(crate) mod faults;
 pub mod host;
 pub mod input;
 pub mod oplists;

@@ -128,6 +128,19 @@ impl World {
             flags: u16::from(self.cfg.checksum != ChecksumMode::None),
         };
 
+        // Oracle: strong-integrity semantics promise that delivery will
+        // carry the bytes as of this invocation; fingerprint them now
+        // (from the referenced frames, i.e. post-copy / post-protect).
+        if self.fault.oracle.is_some() && req.semantics.integrity() == crate::Integrity::Strong {
+            let mut bytes = self.take_payload_buf();
+            Adapter::dma_gather_into(&self.host(from).vm.phys, &desc.vecs, &mut bytes)?;
+            let fp = genie_fault::fnv64(&bytes);
+            self.recycle_payload(bytes);
+            if let Some(o) = self.fault.oracle.as_mut() {
+                o.record_promised(req.vc.0, seq, fp);
+            }
+        }
+
         self.sends.insert(
             token,
             PendingSend {
@@ -153,9 +166,12 @@ impl World {
         Ok(token)
     }
 
-    /// Applies the output copy-conversion thresholds (Section 6).
-    fn effective_output_semantics(&self, s: Semantics, len: usize) -> Semantics {
-        match s {
+    /// Applies the output copy-conversion thresholds (Section 6), plus
+    /// fault-injected graceful degradation: under an active plan an
+    /// optimized semantics may fall back to the basic semantics it
+    /// emulates, which must be behaviorally invisible to applications.
+    fn effective_output_semantics(&mut self, s: Semantics, len: usize) -> Semantics {
+        let mut eff = match s {
             Semantics::EmulatedCopy if len < self.cfg.emulated_copy_output_threshold => {
                 Semantics::Copy
             }
@@ -163,7 +179,12 @@ impl World {
                 Semantics::Copy
             }
             other => other,
+        };
+        if self.fault.plan.active() && eff.optimized() && self.fault.plan.degrade() {
+            self.fault.stats.degraded_outputs += 1;
+            eff = eff.basic();
         }
+        eff
     }
 
     /// Table 2 prepare-stage operations.
@@ -281,11 +302,16 @@ impl World {
     /// Attempts to put one pending PDU on the wire; returns false on a
     /// credit stall (a retry is scheduled).
     fn try_transmit_one(&mut self, time: SimTime, token: u64) -> bool {
-        let send = self.sends.get_mut(&token).expect("pending send");
+        let send = self.sends.get(&token).expect("pending send");
         let from = send.from;
         let vc = send.vc;
+        let sent_at = send.invoked_at;
         let total = send.len + HEADER_LEN;
         let cells = cells_for_payload(total);
+
+        if self.fault.plan.active() {
+            self.maybe_starve_credits(time, from, vc);
+        }
 
         if !self.hosts[from.idx()]
             .adapter
@@ -293,7 +319,7 @@ impl World {
         {
             // Out of credit: retry after a round-trip-ish delay (credit
             // returns also wake this queue directly).
-            send.stalls += 1;
+            self.sends.get_mut(&token).expect("pending send").stalls += 1;
             let retry = time + SimTime::from_us(50.0);
             self.events.push(retry, Event::Transmit { token });
             return false;
@@ -323,8 +349,51 @@ impl World {
         let wire_start = ready.max(self.link_busy_until[from.idx()]);
         let wire_done = wire_start + self.link.wire_time(total);
         self.link_busy_until[from.idx()] = wire_done;
-        let arrival = wire_done + self.link.fixed_latency + dev_rx;
-        let sent_at = send.invoked_at;
+        let mut arrival = wire_done + self.link.fixed_latency + dev_rx;
+        let mut txdone = wire_start.max(time) + self.dma.transfer_time(total);
+
+        if self.fault.plan.active() {
+            // The adapter keeps the wire image for retransmission until
+            // the peer delivers this PDU in order.
+            self.fault
+                .inflight
+                .entry(token)
+                .or_insert_with(|| crate::faults::Inflight {
+                    from,
+                    vc,
+                    bytes: payload.clone(),
+                    cells,
+                    sent_at,
+                    attempts: 0,
+                });
+            let verdict = self.fault.plan.wire(cells);
+            if let Some(extra) = verdict.extra_delay {
+                self.fault.stats.pdus_delayed += 1;
+                arrival += extra;
+            }
+            if let Some(d) = self.fault.plan.completion_delay() {
+                self.fault.stats.completion_delays += 1;
+                txdone += d;
+            }
+            if let Some(damage) = verdict.damage {
+                if !self.apply_wire_damage(vc, &payload, damage) {
+                    self.fault.stats.pdus_damaged += 1;
+                    self.recycle_payload(payload);
+                    self.events.push(
+                        arrival,
+                        Event::ArriveDamaged {
+                            to: from.peer(),
+                            vc,
+                            token,
+                            cells,
+                        },
+                    );
+                    self.events.push(txdone, Event::TxDone { token });
+                    return true;
+                }
+            }
+        }
+
         self.events.push(
             arrival,
             Event::Arrive {
@@ -333,9 +402,9 @@ impl World {
                 payload,
                 sent_at,
                 cells,
+                token,
             },
         );
-        let txdone = wire_start.max(time) + self.dma.transfer_time(total);
         self.events.push(txdone, Event::TxDone { token });
         true
     }

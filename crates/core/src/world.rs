@@ -65,6 +65,10 @@ pub struct WorldConfig {
     pub frames_per_host: usize,
     /// Per-VC credit limit in cells.
     pub credit_limit: u32,
+    /// Fault-injection plan ([`genie_fault::FaultConfig::NONE`] keeps
+    /// the world fault-free and byte-identical to a build without the
+    /// fault subsystem).
+    pub fault: genie_fault::FaultConfig,
 }
 
 impl Default for WorldConfig {
@@ -78,6 +82,7 @@ impl Default for WorldConfig {
             genie: GenieConfig::default(),
             frames_per_host: 6144,
             credit_limit: 4096,
+            fault: genie_fault::FaultConfig::NONE,
         }
     }
 }
@@ -100,14 +105,31 @@ pub(crate) enum Event {
     Transmit { token: u64 },
     /// Transmit-side DMA finished: run the sender's dispose stage.
     TxDone { token: u64 },
-    /// The PDU reached the receiving adapter.
+    /// The PDU reached the receiving adapter intact.
     Arrive {
         to: HostId,
         vc: Vc,
         payload: Vec<u8>,
         sent_at: SimTime,
         cells: usize,
+        token: u64,
     },
+    /// A damaged PDU reached the receiving adapter (AAL5 reassembly
+    /// failed there); only raised by an active fault plan.
+    ArriveDamaged {
+        to: HostId,
+        vc: Vc,
+        token: u64,
+        cells: usize,
+    },
+    /// Resend a PDU from the sender's retransmit buffer.
+    Retransmit { token: u64 },
+    /// End of a credit-starvation episode: give the cells back.
+    RestoreCredits { host: HostId, vc: Vc, cells: u32 },
+    /// End of a memory-pressure episode: free the hoarded frames.
+    ReleaseHoard { host: HostId },
+    /// Retry delivering held in-order PDUs that ran out of buffering.
+    Redeliver { to: HostId, vc: Vc },
 }
 
 /// A PDU that arrived before any matching input was posted
@@ -145,6 +167,8 @@ pub struct World {
     /// these, arrival returns it, so steady-state traffic allocates no
     /// per-datagram payload Vec.
     pub(crate) spare_payloads: Vec<Vec<u8>>,
+    /// Fault-injection plan, counters, oracle and recovery state.
+    pub(crate) fault: crate::faults::FaultState,
 }
 
 impl World {
@@ -176,6 +200,7 @@ impl World {
             link_busy_until: [SimTime::ZERO; 2],
             txq: BTreeMap::new(),
             spare_payloads: Vec::new(),
+            fault: crate::faults::FaultState::new(cfg.fault),
         }
     }
 
@@ -296,10 +321,26 @@ impl World {
                     payload,
                     sent_at,
                     cells,
-                } => {
-                    self.on_arrive(time, to, vc, &payload, sent_at, cells);
-                    self.recycle_payload(payload);
+                    token,
+                } => self.on_arrive(time, to, vc, payload, sent_at, cells, token),
+                Event::ArriveDamaged {
+                    to,
+                    vc,
+                    token,
+                    cells,
+                } => self.on_arrive_damaged(time, to, vc, token, cells),
+                Event::Retransmit { token } => self.on_retransmit(time, token),
+                Event::RestoreCredits { host, vc, cells } => {
+                    self.on_restore_credits(time, host, vc, cells);
                 }
+                Event::ReleaseHoard { host } => self.on_release_hoard(host),
+                Event::Redeliver { to, vc } => self.drain_in_order(time, to, vc),
+            }
+            if self.fault.plan.active() {
+                self.inject_pressure(time);
+            }
+            if self.fault.oracle.is_some() {
+                self.oracle_sweep();
             }
         }
     }
@@ -324,10 +365,30 @@ impl World {
     /// the PDU's unstripped header lands at the start of the first
     /// overlay page; with early demultiplexing the *system* aligns its
     /// buffers to the application's, so any alignment works.
-    pub fn preferred_alignment(&self, _host: HostId, _vc: genie_net::Vc) -> (usize, usize) {
-        match self.rx_mode {
-            InputBuffering::EarlyDemux | InputBuffering::Outboard => (0, 1),
-            InputBuffering::Pooled => (genie_net::HEADER_LEN, self.hosts[0].page_size()),
+    ///
+    /// The answer is per connection: it depends on the *queried host's*
+    /// adapter mode and page size (the two hosts may differ), and with
+    /// early demultiplexing on whether the VC already has backlogged
+    /// unsolicited data — that data sat in pooled overlay pages, so the
+    /// next posted buffer only swap-delivers if pool-aligned.
+    pub fn preferred_alignment(&self, host: HostId, vc: genie_net::Vc) -> (usize, usize) {
+        let h = &self.hosts[host.idx()];
+        let page = h.page_size();
+        let pooled = (genie_net::HEADER_LEN % page, page);
+        match h.adapter.mode() {
+            InputBuffering::Outboard => (0, 1),
+            InputBuffering::Pooled => pooled,
+            InputBuffering::EarlyDemux => {
+                let backlogged = self
+                    .backlog
+                    .get(&(host.idx(), vc.0))
+                    .is_some_and(|q| !q.is_empty());
+                if backlogged {
+                    pooled
+                } else {
+                    (0, 1)
+                }
+            }
         }
     }
 
@@ -386,5 +447,63 @@ mod tests {
         assert_eq!(w.next_seq(Vc(1)), 0);
         assert_eq!(w.next_seq(Vc(1)), 1);
         assert_eq!(w.next_seq(Vc(2)), 0);
+    }
+
+    #[test]
+    fn preferred_alignment_pins_each_buffering_mode() {
+        for (mode, want) in [
+            (InputBuffering::EarlyDemux, (0, 1)),
+            (InputBuffering::Pooled, (genie_net::HEADER_LEN, 4096)),
+            (InputBuffering::Outboard, (0, 1)),
+        ] {
+            let w = World::new(WorldConfig {
+                rx_buffering: mode,
+                ..WorldConfig::default()
+            });
+            assert_eq!(w.preferred_alignment(HostId::A, Vc(1)), want, "{mode:?}");
+            assert_eq!(w.preferred_alignment(HostId::B, Vc(1)), want, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn preferred_alignment_uses_the_queried_hosts_page_size() {
+        // Heterogeneous hosts: the answer must reflect the queried
+        // host's page size, not always host A's.
+        let w = World::new(WorldConfig {
+            machine_a: MachineSpec::micron_p166(),
+            machine_b: MachineSpec::alphastation_255(),
+            rx_buffering: InputBuffering::Pooled,
+            ..WorldConfig::default()
+        });
+        let hdr = genie_net::HEADER_LEN;
+        assert_eq!(w.preferred_alignment(HostId::A, Vc(1)), (hdr, 4096));
+        assert_eq!(w.preferred_alignment(HostId::B, Vc(1)), (hdr, 8192));
+    }
+
+    #[test]
+    fn preferred_alignment_sees_backlogged_vcs_under_early_demux() {
+        let mut w = World::new(WorldConfig::default()); // early demux
+        assert_eq!(w.preferred_alignment(HostId::B, Vc(7)), (0, 1));
+        // Unsolicited data on this VC sits in pooled overlay pages, so
+        // a buffer posted now only swap-delivers if pool-aligned.
+        w.backlog
+            .entry((HostId::B.idx(), 7))
+            .or_default()
+            .push_back(BackloggedPdu {
+                placed: crate::input::PlacedPayload::Outboard(0),
+                sent_at: SimTime::ZERO,
+            });
+        let hdr = genie_net::HEADER_LEN;
+        assert_eq!(w.preferred_alignment(HostId::B, Vc(7)), (hdr, 4096));
+        assert_eq!(
+            w.preferred_alignment(HostId::B, Vc(8)),
+            (0, 1),
+            "other VCs unaffected"
+        );
+        assert_eq!(
+            w.preferred_alignment(HostId::A, Vc(7)),
+            (0, 1),
+            "other host unaffected"
+        );
     }
 }

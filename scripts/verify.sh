@@ -17,6 +17,9 @@ cargo build --release --workspace
 echo "== tests =="
 cargo test --workspace -q
 
+echo "== fault swarm smoke (20 seeds, full semantics x architecture grid) =="
+GENIE_FAULT_SWARM_SEEDS=20 cargo test --release --test fault_swarm -q
+
 echo "== report determinism (serial vs 4 threads) =="
 tmp_serial=$(mktemp) && tmp_par=$(mktemp)
 trap 'rm -f "$tmp_serial" "$tmp_par"' EXIT
