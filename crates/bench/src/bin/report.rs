@@ -1,10 +1,16 @@
 //! Regenerates every table and figure of the paper from the simulator.
 //!
 //! Usage:
-//!   report                 # everything
-//!   report fig3 table7 ... # selected exhibits
-//!   report --threads 4 all # explicit worker-thread count
-//!   report --json all      # also write BENCH_report.json
+//!   report                    # everything
+//!   report fig3 table7 ...    # selected exhibits
+//!   report --threads 4 all    # explicit worker-thread count
+//!   report --json all         # also write BENCH_report.json
+//!   report --metrics          # dump the canonical runs' metrics JSON
+//!   report --trace out.json   # write a Perfetto-loadable trace
+//!   report --profile all      # per-exhibit wall-clock summary
+//!
+//! `GENIE_TRACE=<path>` is equivalent to `--trace <path>`. With only
+//! `--metrics`/`--trace` and no exhibit names, no exhibits render.
 //!
 //! Exhibits: table1 fig1 fig2 table2 table3 table4 table5 fig3 fig4
 //! fig5 fig6 fig7 table6 table7 table8 oc12 outboard ablations
@@ -72,12 +78,134 @@ fn simulated_summary() -> Vec<(String, f64)> {
     })
 }
 
+/// Fault-injection seed for the `--json` fault-stats section:
+/// `GENIE_FAULT_SEED` if set, else a fixed default so the section is
+/// deterministic out of the box.
+fn fault_seed() -> u64 {
+    std::env::var("GENIE_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(42)
+}
+
+/// Runs one seeded faulted exchange set per semantics (early demux,
+/// three datagrams each) and returns the summed fault counters.
+fn faulted_stats(seed: u64) -> Vec<(&'static str, u64)> {
+    use genie::{Allocation, HostId, InputRequest, OutputRequest, Semantics, World, WorldConfig};
+    use genie_net::Vc;
+
+    const SIZES: [usize; 3] = [1_500, 3_000, 4_000];
+    let mut sums: Vec<(&'static str, u64)> = Vec::new();
+    for sem in Semantics::ALL {
+        let cfg = WorldConfig {
+            frames_per_host: 320,
+            credit_limit: 256,
+            fault: genie_fault::FaultConfig::swarm(seed),
+            ..WorldConfig::default()
+        };
+        let mut w = World::new(cfg);
+        let tx = w.create_process(HostId::A);
+        let rx = w.create_process(HostId::B);
+        for &bytes in &SIZES {
+            if sem.allocation() == Allocation::Application {
+                let dst = w
+                    .host_mut(HostId::B)
+                    .alloc_buffer(rx, bytes, 0)
+                    .expect("alloc");
+                w.input(HostId::B, InputRequest::app(sem, Vc(1), rx, dst, bytes))
+                    .expect("input");
+            } else {
+                w.input(HostId::B, InputRequest::system(sem, Vc(1), rx, bytes))
+                    .expect("input");
+            }
+        }
+        for (i, &bytes) in SIZES.iter().enumerate() {
+            let data: Vec<u8> = (0..bytes)
+                .map(|b| (b as u64).wrapping_mul(31).wrapping_add(i as u64) as u8)
+                .collect();
+            let src = match sem.allocation() {
+                Allocation::Application => {
+                    let s = w
+                        .host_mut(HostId::A)
+                        .alloc_buffer(tx, bytes, 0)
+                        .expect("alloc");
+                    w.app_write(HostId::A, tx, s, &data).expect("write");
+                    s
+                }
+                Allocation::System => {
+                    let (_r, s) = w
+                        .host_mut(HostId::A)
+                        .alloc_io_buffer(tx, bytes)
+                        .expect("alloc io");
+                    w.app_write(HostId::A, tx, s, &data).expect("write");
+                    s
+                }
+            };
+            w.output(HostId::A, OutputRequest::new(sem, Vc(1), tx, src, bytes))
+                .expect("output");
+        }
+        w.run();
+        let _ = w.take_completed_inputs();
+        let _ = w.take_completed_outputs();
+        for (name, v) in w.fault_stats().fields() {
+            match sums.iter_mut().find(|(n, _)| *n == name) {
+                Some(slot) => slot.1 += v,
+                None => sums.push((name, v)),
+            }
+        }
+    }
+    sums
+}
+
+/// Prints the `--profile` per-exhibit wall-clock table.
+fn print_profile(names: &[&str], samples: &[genie_runner::CellSample]) {
+    println!("# Profile: per-exhibit wall clock");
+    println!("  {:<12} {:>6} {:>10}", "exhibit", "worker", "wall_ms");
+    for s in samples {
+        let name = names.get(s.cell).copied().unwrap_or("?");
+        println!(
+            "  {:<12} {:>6} {:>10.3}",
+            name,
+            s.worker,
+            s.wall.as_secs_f64() * 1e3
+        );
+    }
+    let total: f64 = samples.iter().map(|s| s.wall.as_secs_f64() * 1e3).sum();
+    println!(
+        "  {} cells, {:.3} ms total cell time, {} worker threads",
+        samples.len(),
+        total,
+        genie_runner::configured_threads()
+    );
+    println!();
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
     if let Some(i) = args.iter().position(|a| a == "--json") {
         args.remove(i);
         json = true;
+    }
+    let mut want_metrics = false;
+    if let Some(i) = args.iter().position(|a| a == "--metrics") {
+        args.remove(i);
+        want_metrics = true;
+    }
+    let mut profile = false;
+    if let Some(i) = args.iter().position(|a| a == "--profile") {
+        args.remove(i);
+        profile = true;
+    }
+    let mut trace_path: Option<String> =
+        std::env::var("GENIE_TRACE").ok().filter(|p| !p.is_empty());
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        if i + 1 >= args.len() {
+            eprintln!("--trace requires an output path");
+            std::process::exit(2);
+        }
+        trace_path = Some(args[i + 1].clone());
+        args.drain(i..=i + 1);
     }
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         if i + 1 >= args.len() {
@@ -91,6 +219,9 @@ fn main() {
         genie_runner::set_threads(n);
         args.drain(i..=i + 1);
     }
+    // `--metrics`/`--trace` with no exhibit names means "just inspect":
+    // no exhibits render.
+    let inspect_only = args.is_empty() && (want_metrics || trace_path.is_some());
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
     let m = MachineSpec::micron_p166;
 
@@ -117,8 +248,12 @@ fn main() {
         ("waterfall", Box::new(move || gen::breakdown_waterfall(m()))),
     ];
 
-    let selected: Vec<&Exhibit> = exhibits.iter().filter(|(name, _)| want(name)).collect();
-    if selected.is_empty() {
+    let selected: Vec<&Exhibit> = if inspect_only {
+        Vec::new()
+    } else {
+        exhibits.iter().filter(|(name, _)| want(name)).collect()
+    };
+    if selected.is_empty() && !inspect_only {
         eprintln!(
             "unknown exhibit; available: {}",
             exhibits
@@ -131,6 +266,10 @@ fn main() {
     }
 
     // Compute in parallel, print in canonical order.
+    if profile {
+        genie_runner::set_profiling(true);
+        let _ = genie_runner::take_profile();
+    }
     let t0 = Instant::now();
     let rendered = genie_runner::map(&selected, |(name, f)| {
         let t = Instant::now();
@@ -138,8 +277,23 @@ fn main() {
         (*name, text, t.elapsed().as_secs_f64() * 1e3)
     });
     let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if profile {
+        genie_runner::set_profiling(false);
+    }
     for (_name, text, _ms) in &rendered {
         println!("{text}\n");
+    }
+    if profile {
+        let names: Vec<&str> = selected.iter().map(|(n, _)| *n).collect();
+        print_profile(&names, &genie_runner::take_profile());
+    }
+    if want_metrics {
+        print!("{}", gen::inspect::metrics_json());
+    }
+    if let Some(path) = &trace_path {
+        let trace = gen::inspect::trace_json();
+        std::fs::write(path, &trace).expect("write trace JSON");
+        eprintln!("wrote {} ({} bytes of trace JSON)", path, trace.len());
     }
 
     if json {
@@ -158,7 +312,20 @@ fn main() {
                 if i + 1 < rendered.len() { "," } else { "" }
             ));
         }
-        out.push_str("  ],\n  \"simulated_latency_60kb_us\": {\n");
+        let seed = fault_seed();
+        out.push_str(&format!(
+            "  ],\n  \"fault_stats\": {{\n    \"seed\": {seed},\n"
+        ));
+        let stats = faulted_stats(seed);
+        for (i, (name, v)) in stats.iter().enumerate() {
+            out.push_str(&format!(
+                "    \"{}\": {}{}\n",
+                json_escape(name),
+                v,
+                if i + 1 < stats.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  },\n  \"simulated_latency_60kb_us\": {\n");
         let sims = simulated_summary();
         for (i, (label, us)) in sims.iter().enumerate() {
             out.push_str(&format!(

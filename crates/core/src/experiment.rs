@@ -190,6 +190,51 @@ impl SeriesContext {
         Ok(last)
     }
 
+    /// Like [`SeriesContext::measure_latency`], but traces the
+    /// measured round: the warm-up round runs untraced, both ledgers
+    /// are reset, then the measured exchange runs with tracing on, so
+    /// the returned trace and metrics cover exactly the measured
+    /// round's charges.
+    pub fn measure_latency_traced(
+        &mut self,
+        semantics: Semantics,
+        bytes: usize,
+    ) -> Result<
+        (
+            SimTime,
+            genie_trace::TraceSet,
+            genie_trace::metrics::MetricsRegistry,
+        ),
+        GenieError,
+    > {
+        let mut app_bufs: Option<(u64, u64)> = None;
+        let (tx, rx, page_off) = (self.tx, self.rx, self.setup.recv_page_off);
+        let exchange = |w: &mut World, seed: u8, bufs: &mut Option<(u64, u64)>| {
+            one_exchange_between(
+                w,
+                semantics,
+                Vc(1),
+                HostId::A,
+                tx,
+                HostId::B,
+                rx,
+                page_off,
+                &payload(bytes, seed),
+                bufs,
+            )
+        };
+        exchange(&mut self.w, 0, &mut app_bufs)?;
+        for h in [HostId::A, HostId::B] {
+            self.w.host_mut(h).ledger.reset();
+        }
+        self.w.enable_tracing(true);
+        let latency = exchange(&mut self.w, 1, &mut app_bufs)?;
+        let trace = self.w.take_trace();
+        let metrics = self.w.metrics();
+        self.w.enable_tracing(false);
+        Ok((latency, trace, metrics))
+    }
+
     /// Like [`SeriesContext::measure_latency`], but records the ledger
     /// samples of the measured round on both hosts (the warm-up round
     /// is unrecorded, exactly as in the standalone
@@ -501,6 +546,25 @@ pub fn measure_latency_recorded(
     bytes: usize,
 ) -> Result<(SimTime, Vec<genie_machine::Sample>), GenieError> {
     SeriesContext::new(setup, &[bytes]).measure_latency_recorded(semantics, bytes)
+}
+
+/// Runs the two-round exchange of [`measure_latency`] with tracing
+/// enabled during the measured round, returning the latency, the
+/// structured trace, and a metrics snapshot — both covering exactly
+/// the measured round (the ledger is reset after warm-up).
+pub fn measure_latency_traced(
+    setup: &ExperimentSetup,
+    semantics: Semantics,
+    bytes: usize,
+) -> Result<
+    (
+        SimTime,
+        genie_trace::TraceSet,
+        genie_trace::metrics::MetricsRegistry,
+    ),
+    GenieError,
+> {
+    SeriesContext::new(setup, &[bytes]).measure_latency_traced(semantics, bytes)
 }
 
 /// Equivalent throughput in Mbit/s of a single datagram of `bytes`

@@ -82,6 +82,9 @@ pub(crate) struct FaultState {
     pub rx_next_seq: BTreeMap<(usize, u32), u32>,
     /// Frames hoarded by pressure episodes, per host.
     pub hoard: [Vec<FrameId>; 2],
+    /// Distribution of hold-queue depths observed as PDUs were held
+    /// (empty in fault-free worlds, where nothing is ever held).
+    pub hold_depth: genie_trace::metrics::Histogram,
 }
 
 impl FaultState {
@@ -94,6 +97,7 @@ impl FaultState {
             rx_held: BTreeMap::new(),
             rx_next_seq: BTreeMap::new(),
             hoard: [Vec::new(), Vec::new()],
+            hold_depth: genie_trace::metrics::Histogram::new(),
         }
     }
 }
@@ -166,6 +170,15 @@ impl World {
         let steal = starve.cells.min(adapter.credits_mut(vc).available());
         if steal > 0 && adapter.try_send_credits(vc, steal) {
             self.fault.stats.credit_starvations += 1;
+            let tracer = &mut self.hosts[from.idx()].tracer;
+            if tracer.enabled() {
+                tracer.instant(
+                    genie_trace::Track::Events,
+                    "credit.starved",
+                    time,
+                    steal as usize,
+                );
+            }
             self.events.push(
                 time + starve.hold,
                 Event::RestoreCredits {
@@ -225,6 +238,12 @@ impl World {
             return;
         }
         self.fault.stats.retransmits += 1;
+        {
+            let tracer = &mut self.hosts[from.idx()].tracer;
+            if tracer.enabled() {
+                tracer.instant(genie_trace::Track::Events, "retransmit", time, cells);
+            }
+        }
         self.hosts[from.idx()].charge_overlapped(Op::CellTx, total, cells);
         let dev_rx = self.hosts[from.peer().idx()].charge_overlapped(Op::DeviceFixedRecv, 0, 0);
         let wire_start = time.max(self.link_busy_until[from.idx()]);
@@ -284,6 +303,10 @@ impl World {
         {
             let host = self.host_mut(to);
             host.clock = host.clock.max(time);
+            if host.tracer.enabled() {
+                host.tracer
+                    .instant(genie_trace::Track::Events, "aal5.crc_drop", time, cells);
+            }
             host.charge_overlapped(Op::CellRx, cells * CELL_PAYLOAD, cells);
         }
         self.hosts[to.peer().idx()]
@@ -317,6 +340,17 @@ impl World {
         };
         self.fault.stats.pressure_events += 1;
         let hid = if p.host == 0 { HostId::A } else { HostId::B };
+        {
+            let tracer = &mut self.hosts[p.host].tracer;
+            if tracer.enabled() {
+                tracer.instant(
+                    genie_trace::Track::Events,
+                    "pageout.storm",
+                    time,
+                    p.pageout_pages,
+                );
+            }
+        }
         // The storm runs the paper's input-disabled daemon, racing any
         // pending DMA input on purpose: pages with input references
         // must be skipped, which the stats (and the oracle) witness.

@@ -3,6 +3,7 @@
 use genie_machine::{CostLedger, CostModel, MachineSpec, Op, SimTime};
 use genie_mem::{FrameId, PhysMem};
 use genie_net::{Adapter, InputBuffering};
+use genie_trace::Tracer;
 use genie_vm::{RegionHandle, RegionMark, SpaceId, Vm};
 
 use crate::error::GenieError;
@@ -20,6 +21,9 @@ pub struct Host {
     /// The host CPU clock (simulated time of the latency-critical
     /// path on this host).
     pub clock: SimTime,
+    /// Structured event tracer (disabled by default; zero-cost when
+    /// off).
+    pub tracer: Tracer,
     /// Target overlay pool size in pages.
     pool_target: usize,
 }
@@ -49,6 +53,7 @@ impl Host {
             vm,
             adapter,
             clock: SimTime::ZERO,
+            tracer: Tracer::new(),
             pool_target: pool_pages,
         }
     }
@@ -67,6 +72,9 @@ impl Host {
     /// ledger and advances the CPU clock.
     pub fn charge_latency(&mut self, op: Op, bytes: usize, units: usize) -> SimTime {
         let c = self.ledger.charge(op, bytes, units);
+        if self.tracer.enabled() {
+            self.tracer.op_span(op, self.clock, c, bytes, units);
+        }
         self.clock += c;
         c
     }
@@ -75,7 +83,11 @@ impl Host {
     /// overlaps network latency; per-cell housekeeping): accumulates
     /// busy time without advancing the clock.
     pub fn charge_overlapped(&mut self, op: Op, bytes: usize, units: usize) -> SimTime {
-        self.ledger.charge(op, bytes, units)
+        let c = self.ledger.charge(op, bytes, units);
+        if self.tracer.enabled() {
+            self.tracer.overlapped_op(op, self.clock, c, bytes, units);
+        }
+        c
     }
 
     /// Creates a simulated process (an address space).

@@ -9,7 +9,7 @@
 //! outboard buffering the ready-stage operations land on the critical
 //! path too (paper Section 8).
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use genie_machine::{Op, SimTime};
 use genie_mem::{FrameId, IoDir};
@@ -135,10 +135,25 @@ impl World {
             return Err(GenieError::BufferMismatch(req.semantics));
         }
         let token = self.take_token();
+        let prepare_start = self.host(to).clock;
         let pending = self.prepare_input(to, &req)?;
         debug_assert_eq!(pending.token, 0, "token assigned below");
         let mut pending = pending;
         pending.token = token;
+        {
+            let host = self.host_mut(to);
+            if host.tracer.enabled() {
+                let end = host.clock;
+                host.tracer.span(
+                    genie_trace::Track::Phase,
+                    "input.prepare",
+                    prepare_start,
+                    end.saturating_sub(prepare_start),
+                    req.len_hint,
+                    0,
+                );
+            }
+        }
 
         // Unsolicited data already waiting? Complete right away.
         let key = (to.idx(), req.vc.0);
@@ -302,6 +317,15 @@ impl World {
         }
         if seq > next {
             self.fault.stats.held_for_reorder += 1;
+            let tracer = &mut self.hosts[to.idx()].tracer;
+            if tracer.enabled() {
+                tracer.instant(
+                    genie_trace::Track::Events,
+                    "held_for_reorder",
+                    time,
+                    seq as usize,
+                );
+            }
         }
         self.fault.rx_held.entry(key).or_default().insert(
             seq,
@@ -312,6 +336,8 @@ impl World {
                 tries: 0,
             },
         );
+        let depth = self.fault.rx_held.get(&key).map_or(0, BTreeMap::len);
+        self.fault.hold_depth.record(depth as u64);
         self.drain_in_order(time, to, vc);
     }
 
@@ -328,10 +354,12 @@ impl World {
         let header = DatagramHeader::decode(payload).expect("header fits");
         let key = (to.idx(), vc.0);
         let pending = self.recvs.get_mut(&key).and_then(VecDeque::pop_front);
+        let ready_start = self.host(to).clock;
 
         match pending {
             Some(p) => match self.place_for_pending(to, &p, payload) {
                 Some(placed) => {
+                    self.trace_ready_span(to, ready_start, payload.len());
                     self.dispose_input(to, p, placed, header, sent_at);
                     true
                 }
@@ -347,6 +375,7 @@ impl World {
                 // backlog.
                 match self.place_unsolicited(to, vc, payload) {
                     Some(placed) => {
+                        self.trace_ready_span(to, ready_start, payload.len());
                         self.backlog
                             .entry(key)
                             .or_default()
@@ -356,6 +385,23 @@ impl World {
                     None => false,
                 }
             }
+        }
+    }
+
+    /// Records the "input.ready" phase span covering the ready-stage
+    /// buffering work just performed on `to`.
+    fn trace_ready_span(&mut self, to: HostId, start: SimTime, bytes: usize) {
+        let host = self.host_mut(to);
+        if host.tracer.enabled() {
+            let end = host.clock;
+            host.tracer.span(
+                genie_trace::Track::Phase,
+                "input.ready",
+                start,
+                end.saturating_sub(start),
+                bytes,
+                0,
+            );
         }
     }
 
@@ -524,6 +570,7 @@ impl World {
         sent_at: SimTime,
     ) {
         let data_len = header.len as usize;
+        let dispose_start = self.host(to).clock;
         let (vaddr, region) = match placed {
             PlacedPayload::Direct => self.dispose_direct(to, &p, data_len),
             PlacedPayload::SysFrames(frames) => self.dispose_sys_frames(to, &p, frames, data_len),
@@ -567,6 +614,19 @@ impl World {
         }
 
         let completed_at = self.host(to).clock;
+        {
+            let host = self.host_mut(to);
+            if host.tracer.enabled() {
+                host.tracer.span(
+                    genie_trace::Track::Phase,
+                    "input.dispose",
+                    dispose_start,
+                    completed_at.saturating_sub(dispose_start),
+                    data_len,
+                    0,
+                );
+            }
+        }
         self.done_recvs.push(RecvCompletion {
             token: p.token,
             semantics: p.semantics,

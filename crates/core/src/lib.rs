@@ -57,6 +57,7 @@ pub mod experiment;
 pub(crate) mod faults;
 pub mod host;
 pub mod input;
+pub mod observe;
 pub mod oplists;
 pub mod output;
 pub mod semantics;
@@ -66,9 +67,13 @@ pub use align::{plan_aligned_input, PageAction, PagePlan};
 pub use config::{ChecksumMode, GenieConfig};
 pub use error::GenieError;
 pub use experiment::{
-    latency_sweep, measure_latency, measure_latency_recorded, measure_ping_pong, measure_stream,
-    throughput_mbps, utilization_sweep, ExperimentPoint, ExperimentSetup, SeriesContext,
+    latency_sweep, measure_latency, measure_latency_recorded, measure_latency_traced,
+    measure_ping_pong, measure_stream, throughput_mbps, utilization_sweep, ExperimentPoint,
+    ExperimentSetup, SeriesContext,
 };
+pub use genie_trace::chrome::ChromeTrace;
+pub use genie_trace::metrics::{Histogram, Metric, MetricsRegistry};
+pub use genie_trace::{TraceEvent, TraceSet, Tracer, Track};
 pub use host::Host;
 pub use input::{InputRequest, RecvCompletion};
 pub use output::{OutputRequest, SendCompletion};

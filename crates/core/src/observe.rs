@@ -1,0 +1,174 @@
+//! Observability surface of a [`World`]: tracing control, trace
+//! extraction, and the unified metrics registry.
+//!
+//! Tracing is off by default and every instrumentation point is gated
+//! on the tracer's enabled flag, so an untraced world runs the exact
+//! byte-for-byte simulation it always did. All trace timestamps are
+//! *simulated* time, which makes traces a pure function of the
+//! experiment configuration: the same seed and topology produce the
+//! same bytes at any host thread count.
+
+use genie_machine::Op;
+use genie_trace::metrics::MetricsRegistry;
+use genie_trace::TraceSet;
+
+use crate::world::{HostId, World};
+
+impl World {
+    /// Enables (or disables) structured tracing on both hosts and the
+    /// link.
+    pub fn enable_tracing(&mut self, on: bool) {
+        self.hosts[0].tracer.set_enabled(on);
+        self.hosts[1].tracer.set_enabled(on);
+        self.wire_tracer.set_enabled(on);
+    }
+
+    /// Whether tracing is currently enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.wire_tracer.enabled()
+    }
+
+    /// Drains every recorded trace event into one [`TraceSet`] with one
+    /// owner per host plus the link. Tracing stays enabled.
+    pub fn take_trace(&mut self) -> TraceSet {
+        TraceSet {
+            owners: vec![
+                ("host A", self.hosts[0].tracer.take()),
+                ("host B", self.hosts[1].tracer.take()),
+                ("link", self.wire_tracer.take()),
+            ],
+        }
+    }
+
+    /// Builds the unified metrics registry: per-host ledger statistics
+    /// (every charged operation), adapter, VM and frame-allocator
+    /// counters, plus world-level fault-injection counters. Keys are
+    /// stable and sorted, so the JSON dump is deterministic.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        for (id, prefix) in [(HostId::A, "host_a"), (HostId::B, "host_b")] {
+            let h = self.host(id);
+            r.set_gauge(&format!("{prefix}.busy_us"), h.ledger.busy().as_us());
+            r.set_gauge(&format!("{prefix}.clock_us"), h.clock.as_us());
+            r.set_counter(
+                &format!("{prefix}.ledger.samples_dropped"),
+                h.ledger.samples_dropped(),
+            );
+            for &op in Op::ALL {
+                let s = h.ledger.stats(op);
+                if s.count == 0 {
+                    continue;
+                }
+                let name = op.name();
+                r.set_counter(&format!("{prefix}.ops.{name}.count"), s.count);
+                r.set_counter(&format!("{prefix}.ops.{name}.bytes"), s.bytes);
+                r.set_gauge(&format!("{prefix}.ops.{name}.total_us"), s.total.as_us());
+            }
+            let a = h.adapter.stats();
+            r.set_counter(&format!("{prefix}.adapter.pdus_received"), a.pdus_received);
+            r.set_counter(&format!("{prefix}.adapter.posted_hits"), a.posted_hits);
+            r.set_counter(
+                &format!("{prefix}.adapter.pooled_fallbacks"),
+                a.pooled_fallbacks,
+            );
+            r.set_counter(&format!("{prefix}.adapter.pool_takes"), a.pool_takes);
+            r.set_counter(
+                &format!("{prefix}.adapter.pool_exhausted_drops"),
+                a.pool_exhausted_drops,
+            );
+            r.set_counter(
+                &format!("{prefix}.adapter.truncated_drops"),
+                a.truncated_drops,
+            );
+            r.set_counter(
+                &format!("{prefix}.adapter.outboard_stores"),
+                a.outboard_stores,
+            );
+            r.set_counter(&format!("{prefix}.adapter.drops"), h.adapter.drops());
+            if a.pdus_received > 0 {
+                // Frame-pool hit rate: PDUs that avoided the pool.
+                r.set_gauge(
+                    &format!("{prefix}.adapter.posted_hit_rate"),
+                    a.posted_hits as f64 / a.pdus_received as f64,
+                );
+            }
+            let v = h.vm.stats();
+            r.set_counter(&format!("{prefix}.vm.faults_handled"), v.faults_handled);
+            r.set_counter(&format!("{prefix}.vm.tcow_copies"), v.tcow_copies);
+            r.set_counter(&format!("{prefix}.vm.cow_copies"), v.cow_copies);
+            r.set_counter(&format!("{prefix}.vm.zero_fills"), v.zero_fills);
+            r.set_counter(&format!("{prefix}.vm.pages_paged_in"), v.pages_paged_in);
+            r.set_counter(&format!("{prefix}.vm.page_swaps"), v.page_swaps);
+            r.set_counter(&format!("{prefix}.vm.region_wires"), v.region_wires);
+            r.set_counter(&format!("{prefix}.vm.region_unwires"), v.region_unwires);
+            r.set_counter(
+                &format!("{prefix}.vm.region_invalidations"),
+                v.region_invalidations,
+            );
+            r.set_counter(
+                &format!("{prefix}.vm.region_reinstates"),
+                v.region_reinstates,
+            );
+            let m = &h.vm.phys;
+            r.set_counter(&format!("{prefix}.mem.frame_allocs"), m.alloc_count());
+            r.set_counter(&format!("{prefix}.mem.frame_deallocs"), m.dealloc_count());
+            r.set_counter(
+                &format!("{prefix}.mem.deferred_frees"),
+                m.deferred_free_count(),
+            );
+            r.set_counter(
+                &format!("{prefix}.mem.peak_frames_in_use"),
+                m.peak_in_use() as u64,
+            );
+            r.set_counter(&format!("{prefix}.mem.free_frames"), m.free_frames() as u64);
+        }
+        for (name, v) in self.fault_stats().fields() {
+            r.set_counter(&format!("fault.{name}"), v);
+        }
+        if self.fault.hold_depth.count() > 0 {
+            r.set_histogram("fault.hold_queue_depth", self.fault.hold_depth.clone());
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::{HostId, World, WorldConfig};
+    use genie_machine::Op;
+
+    #[test]
+    fn tracing_is_off_by_default_and_toggles() {
+        let mut w = World::new(WorldConfig::default());
+        assert!(!w.tracing_enabled());
+        w.enable_tracing(true);
+        assert!(w.tracing_enabled());
+        w.host_mut(HostId::A).charge_latency(Op::Copyin, 100, 1);
+        let t = w.take_trace();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.owners[0].0, "host A");
+    }
+
+    #[test]
+    fn untraced_charges_record_nothing() {
+        let mut w = World::new(WorldConfig::default());
+        w.host_mut(HostId::A).charge_latency(Op::Copyin, 100, 1);
+        assert!(w.take_trace().is_empty());
+    }
+
+    #[test]
+    fn metrics_expose_op_stats_and_busy_time() {
+        let mut w = World::new(WorldConfig::default());
+        let c = w.host_mut(HostId::A).charge_latency(Op::Copyin, 100, 1);
+        let r = w.metrics();
+        assert_eq!(r.counter("host_a.ops.Copyin.count"), 1);
+        assert_eq!(r.counter("host_a.ops.Copyin.bytes"), 100);
+        let j = r.to_json(0);
+        assert!(
+            j.contains(&format!("\"host_a.busy_us\": {:.6}", c.as_us())),
+            "{j}"
+        );
+        // Uncharged ops are omitted.
+        assert!(r.get("host_a.ops.Swap.count").is_none());
+    }
+}

@@ -158,6 +158,19 @@ impl World {
             },
         );
         let t = self.host(from).clock;
+        {
+            let host = self.host_mut(from);
+            if host.tracer.enabled() {
+                host.tracer.span(
+                    genie_trace::Track::Phase,
+                    "output.prepare",
+                    invoked_at,
+                    t.saturating_sub(invoked_at),
+                    req.len,
+                    0,
+                );
+            }
+        }
         self.txq
             .entry((from.idx(), req.vc.0))
             .or_default()
@@ -320,6 +333,10 @@ impl World {
             // Out of credit: retry after a round-trip-ish delay (credit
             // returns also wake this queue directly).
             self.sends.get_mut(&token).expect("pending send").stalls += 1;
+            let tracer = &mut self.hosts[from.idx()].tracer;
+            if tracer.enabled() {
+                tracer.instant(genie_trace::Track::Events, "credit.stall", time, cells);
+            }
             let retry = time + SimTime::from_us(50.0);
             self.events.push(retry, Event::Transmit { token });
             return false;
@@ -349,6 +366,20 @@ impl World {
         let wire_start = ready.max(self.link_busy_until[from.idx()]);
         let wire_done = wire_start + self.link.wire_time(total);
         self.link_busy_until[from.idx()] = wire_done;
+        if self.wire_tracer.enabled() {
+            let name = match from {
+                HostId::A => "wire A\u{2192}B",
+                HostId::B => "wire B\u{2192}A",
+            };
+            self.wire_tracer.span(
+                genie_trace::Track::Wire,
+                name,
+                wire_start,
+                wire_done.saturating_sub(wire_start),
+                total,
+                cells,
+            );
+        }
         let mut arrival = wire_done + self.link.fixed_latency + dev_rx;
         let mut txdone = wire_start.max(time) + self.dma.transfer_time(total);
 
@@ -421,6 +452,7 @@ impl World {
         // network latency but the application regains the CPU only
         // afterwards.
         host.clock = host.clock.max(time);
+        let dispose_start = host.clock;
         match send.effective {
             Semantics::Copy => {
                 host.charge_latency(Op::SysBufDeallocate, 0, 0);
@@ -474,6 +506,20 @@ impl World {
                 host.vm
                     .space_mut(region.space)
                     .cache_region(region.start_vpn, RegionMark::WeaklyMovedOut);
+            }
+        }
+        {
+            let host = self.host_mut(from);
+            if host.tracer.enabled() {
+                let end = host.clock;
+                host.tracer.span(
+                    genie_trace::Track::Phase,
+                    "output.dispose",
+                    dispose_start,
+                    end.saturating_sub(dispose_start),
+                    send.len,
+                    0,
+                );
             }
         }
         self.done_sends.push(SendCompletion {

@@ -169,6 +169,9 @@ pub struct World {
     pub(crate) spare_payloads: Vec<Vec<u8>>,
     /// Fault-injection plan, counters, oracle and recovery state.
     pub(crate) fault: crate::faults::FaultState,
+    /// World-level tracer for link occupancy (per-host work is traced
+    /// by each host's own tracer).
+    pub(crate) wire_tracer: genie_trace::Tracer,
 }
 
 impl World {
@@ -201,6 +204,7 @@ impl World {
             txq: BTreeMap::new(),
             spare_payloads: Vec::new(),
             fault: crate::faults::FaultState::new(cfg.fault),
+            wire_tracer: genie_trace::Tracer::new(),
         }
     }
 

@@ -49,6 +49,28 @@ impl FaultStats {
             + self.pressure_events
             + self.degraded_outputs
     }
+
+    /// Every counter with its name, in declaration order, for metric
+    /// registration and JSON serialization.
+    pub fn fields(&self) -> [(&'static str, u64); 15] {
+        [
+            ("pdus_damaged", self.pdus_damaged),
+            ("pdus_delayed", self.pdus_delayed),
+            ("crc_drops", self.crc_drops),
+            ("buffer_drops", self.buffer_drops),
+            ("retransmits", self.retransmits),
+            ("retransmits_abandoned", self.retransmits_abandoned),
+            ("duplicates_discarded", self.duplicates_discarded),
+            ("held_for_reorder", self.held_for_reorder),
+            ("credit_starvations", self.credit_starvations),
+            ("completion_delays", self.completion_delays),
+            ("pressure_events", self.pressure_events),
+            ("frames_hoarded", self.frames_hoarded),
+            ("pages_stormed_out", self.pages_stormed_out),
+            ("pageout_skipped_input", self.pageout_skipped_input),
+            ("degraded_outputs", self.degraded_outputs),
+        ]
+    }
 }
 
 #[cfg(test)]

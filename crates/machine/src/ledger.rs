@@ -49,7 +49,14 @@ pub struct CostLedger {
     samples: Vec<Sample>,
     recording: bool,
     busy: SimTime,
+    sample_cap: usize,
+    samples_dropped: u64,
 }
+
+/// Default bound on recorded samples per ledger. Generous enough that
+/// every shipped experiment records its full window, but it keeps a
+/// runaway recording session from growing without limit.
+pub const DEFAULT_SAMPLE_CAP: usize = 1 << 20;
 
 impl CostLedger {
     /// Creates a ledger for the given cost model.
@@ -61,6 +68,8 @@ impl CostLedger {
             samples: Vec::new(),
             recording: false,
             busy: SimTime::ZERO,
+            sample_cap: DEFAULT_SAMPLE_CAP,
+            samples_dropped: 0,
         }
     }
 
@@ -78,6 +87,25 @@ impl CostLedger {
     /// so one ledger can record several measurement windows.
     pub fn clear_samples(&mut self) {
         self.samples.clear();
+        self.samples_dropped = 0;
+    }
+
+    /// Bounds the number of samples kept while recording. Charges past
+    /// the cap still update statistics and busy time but are not
+    /// retained individually; they are counted in
+    /// [`samples_dropped`](Self::samples_dropped) instead.
+    pub fn set_sample_cap(&mut self, cap: usize) {
+        self.sample_cap = cap;
+    }
+
+    /// The current sample retention bound.
+    pub fn sample_cap(&self) -> usize {
+        self.sample_cap
+    }
+
+    /// Number of samples discarded because the cap was reached.
+    pub fn samples_dropped(&self) -> u64 {
+        self.samples_dropped
     }
 
     /// Charges one invocation of `op` over `bytes` bytes / `units`
@@ -94,12 +122,16 @@ impl CostLedger {
             self.busy += cost;
         }
         if self.recording {
-            self.samples.push(Sample {
-                op,
-                bytes,
-                units,
-                cost,
-            });
+            if self.samples.len() < self.sample_cap {
+                self.samples.push(Sample {
+                    op,
+                    bytes,
+                    units,
+                    cost,
+                });
+            } else {
+                self.samples_dropped += 1;
+            }
         }
         cost
     }
@@ -137,6 +169,7 @@ impl CostLedger {
             *s = OpStats::default();
         }
         self.samples.clear();
+        self.samples_dropped = 0;
         self.busy = SimTime::ZERO;
     }
 }
@@ -185,6 +218,21 @@ mod tests {
         assert_eq!(l.busy(), SimTime::ZERO);
         assert_eq!(l.stats(Op::Wire).count, 0);
         assert!(l.samples().is_empty());
+    }
+
+    #[test]
+    fn sample_cap_bounds_retention_but_not_stats() {
+        let mut l = ledger();
+        l.set_sample_cap(2);
+        l.record_samples(true);
+        for _ in 0..5 {
+            l.charge(Op::Copyout, 100, 1);
+        }
+        assert_eq!(l.samples().len(), 2);
+        assert_eq!(l.samples_dropped(), 3);
+        assert_eq!(l.stats(Op::Copyout).count, 5);
+        l.clear_samples();
+        assert_eq!(l.samples_dropped(), 0);
     }
 
     #[test]

@@ -15,6 +15,9 @@ pub struct PhysMem {
     frames: Vec<Frame>,
     free: Vec<FrameId>,
     deferred_frees: u64,
+    allocs: u64,
+    deallocs: u64,
+    peak_in_use: usize,
 }
 
 impl Drop for PhysMem {
@@ -41,6 +44,9 @@ impl PhysMem {
             frames: frames_vec,
             free,
             deferred_frees: 0,
+            allocs: 0,
+            deallocs: 0,
+            peak_in_use: 0,
         }
     }
 
@@ -65,6 +71,21 @@ impl PhysMem {
         self.deferred_frees
     }
 
+    /// Total frame allocations since creation.
+    pub fn alloc_count(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Total frame deallocations since creation (deferred or not).
+    pub fn dealloc_count(&self) -> u64 {
+        self.deallocs
+    }
+
+    /// High-water mark of frames simultaneously off the free list.
+    pub fn peak_in_use(&self) -> usize {
+        self.peak_in_use
+    }
+
     /// Allocates a frame (contents undefined — whatever the previous
     /// owner left there, exactly the hazard the paper's zeroing and
     /// deferred deallocation guard against).
@@ -75,6 +96,9 @@ impl PhysMem {
         debug_assert!(!f.io_pending(), "free frame with pending I/O");
         f.set_state(FrameState::Allocated);
         f.set_owner(owner);
+        self.allocs += 1;
+        let in_use = self.frames.len() - self.free.len();
+        self.peak_in_use = self.peak_in_use.max(in_use);
         Ok(id)
     }
 
@@ -102,6 +126,7 @@ impl PhysMem {
             f.set_state(FrameState::Free);
             self.free.push(id);
         }
+        self.deallocs += 1;
         Ok(())
     }
 

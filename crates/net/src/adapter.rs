@@ -79,6 +79,26 @@ pub enum RxCompletion {
     Dropped,
 }
 
+/// Receive-path counters, by buffering outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdapterStats {
+    /// PDUs delivered by the adapter, any architecture.
+    pub pdus_received: u64,
+    /// Early-demux PDUs that hit a posted buffer.
+    pub posted_hits: u64,
+    /// Early-demux PDUs that found nothing posted and fell back to the
+    /// overlay pool.
+    pub pooled_fallbacks: u64,
+    /// Overlay frames taken from the pool.
+    pub pool_takes: u64,
+    /// PDUs dropped because the pool could not cover them.
+    pub pool_exhausted_drops: u64,
+    /// PDUs truncated by a too-small posted buffer.
+    pub truncated_drops: u64,
+    /// PDUs stored in outboard adapter memory.
+    pub outboard_stores: u64,
+}
+
 /// The simulated network adapter of one host.
 #[derive(Debug)]
 pub struct Adapter {
@@ -89,6 +109,7 @@ pub struct Adapter {
     credits: BTreeMap<Vc, CreditState>,
     credit_limit: u32,
     drops: u64,
+    stats: AdapterStats,
 }
 
 impl Adapter {
@@ -103,6 +124,7 @@ impl Adapter {
             credits: BTreeMap::new(),
             credit_limit,
             drops: 0,
+            stats: AdapterStats::default(),
         }
     }
 
@@ -114,6 +136,11 @@ impl Adapter {
     /// PDUs dropped for lack of buffering.
     pub fn drops(&self) -> u64 {
         self.drops
+    }
+
+    /// Receive-path counters.
+    pub fn stats(&self) -> AdapterStats {
+        self.stats
     }
 
     // ----- credits (transmit side) --------------------------------------------
@@ -220,19 +247,23 @@ impl Adapter {
         vc: Vc,
         payload: &[u8],
     ) -> Result<RxCompletion, MemError> {
+        self.stats.pdus_received += 1;
         match self.mode {
             InputBuffering::EarlyDemux => {
                 if let Some(rx) = self.unpost_rx(vc) {
+                    self.stats.posted_hits += 1;
                     let len = Self::dma_scatter(phys, &rx.vecs, payload)?;
                     if len < payload.len() {
                         // Posted buffer too small: the tail is lost.
                         self.drops += 1;
+                        self.stats.truncated_drops += 1;
                     }
                     Ok(RxCompletion::Direct {
                         token: rx.token,
                         len,
                     })
                 } else {
+                    self.stats.pooled_fallbacks += 1;
                     self.receive_pooled(phys, payload)
                 }
             }
@@ -251,6 +282,7 @@ impl Adapter {
                         self.outboard.len() - 1
                     }
                 };
+                self.stats.outboard_stores += 1;
                 Ok(RxCompletion::Outboard { buf: idx, len })
             }
         }
@@ -265,8 +297,10 @@ impl Adapter {
         let need = payload.len().div_ceil(page).max(1);
         if self.pool.len() < need {
             self.drops += 1;
+            self.stats.pool_exhausted_drops += 1;
             return Ok(RxCompletion::Dropped);
         }
+        self.stats.pool_takes += need as u64;
         let mut frames = Vec::with_capacity(need);
         let mut src = 0usize;
         for _ in 0..need {
@@ -440,6 +474,29 @@ mod tests {
         }];
         // No page table involved at all at this layer.
         assert_eq!(Adapter::dma_gather(&p, &vecs).unwrap(), b"protected?");
+    }
+
+    #[test]
+    fn stats_track_receive_outcomes() {
+        let mut p = phys();
+        let mut a = Adapter::new(InputBuffering::EarlyDemux, 256);
+        let dst = vec_for(&mut p, 5000);
+        a.post_rx(
+            Vc(1),
+            PostedRx {
+                vecs: dst,
+                token: 1,
+            },
+        );
+        a.receive(&mut p, Vc(1), &[7u8; 5000]).unwrap();
+        // Nothing posted on Vc(2) and no pool: fallback drops.
+        a.receive(&mut p, Vc(2), &[7u8; 100]).unwrap();
+        let s = a.stats();
+        assert_eq!(s.pdus_received, 2);
+        assert_eq!(s.posted_hits, 1);
+        assert_eq!(s.pooled_fallbacks, 1);
+        assert_eq!(s.pool_exhausted_drops, 1);
+        assert_eq!(s.truncated_drops, 0);
     }
 
     #[test]

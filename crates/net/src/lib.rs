@@ -31,7 +31,7 @@ pub mod event;
 pub mod proto;
 
 pub use aal5::{reassemble, reassemble_into, segment, segment_into, Cell};
-pub use adapter::{Adapter, InputBuffering, PostedRx, RxCompletion, Vc};
+pub use adapter::{Adapter, AdapterStats, InputBuffering, PostedRx, RxCompletion, Vc};
 pub use credit::CreditState;
 pub use dma::DmaModel;
 pub use event::EventQueue;

@@ -1,0 +1,238 @@
+//! Chrome trace-event JSON export (the Perfetto-compatible "JSON
+//! array" flavor).
+//!
+//! Simulated time maps directly onto trace time: one simulated
+//! microsecond is one trace microsecond, with picosecond precision
+//! preserved in the fractional part. Every process is one traced
+//! world (one semantics under inspection); every thread is one
+//! `(owner, track)` timeline — host A/B × phase/cpu/vm/adapter/
+//! overlap/events, plus the link's wire track.
+//!
+//! Output is deterministic: timestamps are exact decimals derived from
+//! integer picoseconds, events are emitted in recording order, and
+//! track/process metadata is emitted in a fixed order. `cmp` on two
+//! exports is therefore a valid regression test.
+
+use crate::{EventKind, TraceSet, Track};
+use genie_machine::SimTime;
+
+/// Formats a simulated time as exact microseconds (`ps / 1e6` with all
+/// six fractional digits), avoiding float formatting entirely.
+fn us(t: SimTime) -> String {
+    format!("{}.{:06}", t.0 / 1_000_000, t.0 % 1_000_000)
+}
+
+/// Builds a Chrome trace-event JSON document from one or more traced
+/// worlds, each rendered as one process.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    processes: Vec<(String, TraceSet)>,
+}
+
+impl ChromeTrace {
+    /// An empty export.
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    /// Adds one traced world as a process named `label`.
+    pub fn add_process(&mut self, label: impl Into<String>, trace: TraceSet) {
+        self.processes.push((label.into(), trace));
+    }
+
+    /// Number of distinct `(process, track)` timelines that carry at
+    /// least one event.
+    pub fn track_count(&self) -> usize {
+        let mut n = 0;
+        for (_, set) in &self.processes {
+            for (_, events) in &set.owners {
+                for track in Track::ALL {
+                    if events.iter().any(|e| e.track == *track) {
+                        n += 1;
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    /// Renders the JSON document.
+    pub fn to_json(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        for (pid, (label, set)) in self.processes.iter().enumerate() {
+            lines.push(format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(label)
+            ));
+            for (owner_idx, (owner, events)) in set.owners.iter().enumerate() {
+                for track in Track::ALL {
+                    if !events.iter().any(|e| e.track == *track) {
+                        continue;
+                    }
+                    let tid = tid(owner_idx, *track);
+                    lines.push(format!(
+                        "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                         \"name\":\"thread_name\",\
+                         \"args\":{{\"name\":\"{} {}\"}}}}",
+                        escape(owner),
+                        track.name()
+                    ));
+                    lines.push(format!(
+                        "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                         \"name\":\"thread_sort_index\",\
+                         \"args\":{{\"sort_index\":{tid}}}}}"
+                    ));
+                }
+                for e in events {
+                    let tid = tid(owner_idx, e.track);
+                    let args = format!("{{\"bytes\":{},\"units\":{}}}", e.bytes, e.units);
+                    match e.kind {
+                        EventKind::Span => lines.push(format!(
+                            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\
+                             \"name\":\"{}\",\"ts\":{},\"dur\":{},\
+                             \"args\":{args}}}",
+                            escape(e.name),
+                            us(e.start),
+                            us(e.dur)
+                        )),
+                        EventKind::Instant => lines.push(format!(
+                            "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\
+                             \"name\":\"{}\",\"ts\":{},\"s\":\"t\",\
+                             \"args\":{args}}}",
+                            escape(e.name),
+                            us(e.start)
+                        )),
+                    }
+                }
+            }
+        }
+        let mut out = String::from("[\n");
+        for (i, l) in lines.iter().enumerate() {
+            out.push_str(l);
+            if i + 1 < lines.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+/// Stable thread id for an `(owner, track)` timeline.
+fn tid(owner_idx: usize, track: Track) -> u32 {
+    owner_idx as u32 * 16 + track.id() + 1
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceEvent, Tracer};
+    use genie_machine::Op;
+
+    fn sample_set() -> TraceSet {
+        let mut t = Tracer::new();
+        t.set_enabled(true);
+        t.span(
+            Track::Phase,
+            "output.prepare",
+            SimTime::from_us(1.5),
+            SimTime::from_us(10.0),
+            61_440,
+            15,
+        );
+        t.op_span(
+            Op::Copyin,
+            SimTime::from_us(2.0),
+            SimTime::from_us(5.0),
+            4096,
+            1,
+        );
+        t.instant(Track::Events, "credit.stall", SimTime::from_us(3.0), 1);
+        TraceSet {
+            owners: vec![("host A", t.take())],
+        }
+    }
+
+    #[test]
+    fn microsecond_formatting_is_exact() {
+        assert_eq!(us(SimTime::ZERO), "0.000000");
+        assert_eq!(us(SimTime::from_ps(1)), "0.000001");
+        assert_eq!(us(SimTime::from_us(1.5)), "1.500000");
+        assert_eq!(us(SimTime::from_ps(123_456_789)), "123.456789");
+    }
+
+    #[test]
+    fn export_contains_metadata_spans_and_instants() {
+        let mut c = ChromeTrace::new();
+        c.add_process("emulated copy", sample_set());
+        let json = c.to_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("host A phase"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ts\":1.500000"));
+        assert!(json.contains("\"dur\":10.000000"));
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let mk = || {
+            let mut c = ChromeTrace::new();
+            c.add_process("p", sample_set());
+            c.to_json()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn track_count_counts_nonempty_tracks() {
+        let mut c = ChromeTrace::new();
+        c.add_process("p", sample_set());
+        // phase, cpu, events.
+        assert_eq!(c.track_count(), 3);
+    }
+
+    #[test]
+    fn empty_tracks_emit_no_metadata() {
+        let set = TraceSet {
+            owners: vec![(
+                "host A",
+                vec![TraceEvent {
+                    track: Track::Wire,
+                    name: "wire",
+                    start: SimTime::ZERO,
+                    dur: SimTime::from_us(1.0),
+                    kind: EventKind::Span,
+                    bytes: 0,
+                    units: 0,
+                }],
+            )],
+        };
+        let mut c = ChromeTrace::new();
+        c.add_process("p", set);
+        let json = c.to_json();
+        assert!(json.contains("host A wire"));
+        assert!(!json.contains("host A phase"));
+    }
+}

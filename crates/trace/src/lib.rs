@@ -1,0 +1,438 @@
+//! **genie-trace** — deterministic tracing and metrics for the Genie
+//! simulator.
+//!
+//! The paper's entire methodology is instrumentation: Table 6 comes
+//! from cycle-counter capture at instrumentation points, and the
+//! latency figures from attributing end-to-end time to primitive
+//! operations. This crate is the modern equivalent of those
+//! instrumentation points:
+//!
+//! - [`Tracer`]: a ring-buffered structured event recorder. Every
+//!   event carries *simulated* timestamps ([`SimTime`]), so traces are
+//!   a pure function of the experiment — byte-identical across runs,
+//!   thread counts and machines — and a trace diff is a regression
+//!   test. With tracing disabled the hot path is one branch on a bool.
+//! - [`chrome`]: export to Chrome trace-event JSON, loadable in
+//!   `ui.perfetto.dev` as a flame-style timeline with one track per
+//!   host and per subsystem.
+//! - [`metrics`]: a registry of named counters, gauges and histograms
+//!   unifying the simulator's scattered statistics (ledger op stats,
+//!   fault counters, adapter/VM/memory counters) behind one
+//!   deterministic JSON dump.
+
+pub mod chrome;
+pub mod metrics;
+
+use genie_machine::{Op, SimTime};
+
+/// Default ring capacity in events (~14 MB when full). One traced
+/// datagram exchange records a few hundred events; the cap only
+/// matters to long streaming runs, which keep the most recent window.
+pub const DEFAULT_CAPACITY: usize = 1 << 18;
+
+/// Timeline a trace event belongs to. Each track renders as one
+/// Perfetto thread; spans on the same track nest by containment
+/// (a phase span encloses the op spans charged inside it only
+/// visually — ops live on their own tracks so durations never
+/// double-count).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// Coarse datapath phases: output prepare/dispose, input
+    /// prepare/ready/dispose.
+    Phase,
+    /// Latency-path CPU/memory/cache operations.
+    Cpu,
+    /// Latency-path VM operations (page-table manipulation).
+    Vm,
+    /// Latency-path device/adapter operations.
+    Adapter,
+    /// Overlapped (dispose-time / per-cell) operations, laid out
+    /// sequentially from the time they were charged.
+    Overlap,
+    /// Point events: credit stalls, retransmissions, CRC drops,
+    /// pageout storms, reorder holds.
+    Events,
+    /// Link occupancy (world-level, not per host).
+    Wire,
+}
+
+impl Track {
+    /// All tracks, in display order.
+    pub const ALL: &'static [Track] = &[
+        Track::Phase,
+        Track::Cpu,
+        Track::Vm,
+        Track::Adapter,
+        Track::Overlap,
+        Track::Events,
+        Track::Wire,
+    ];
+
+    /// Stable display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Track::Phase => "phase",
+            Track::Cpu => "cpu ops",
+            Track::Vm => "vm ops",
+            Track::Adapter => "adapter ops",
+            Track::Overlap => "overlapped ops",
+            Track::Events => "events",
+            Track::Wire => "wire",
+        }
+    }
+
+    /// Stable small integer for thread ids.
+    pub const fn id(self) -> u32 {
+        match self {
+            Track::Phase => 0,
+            Track::Cpu => 1,
+            Track::Vm => 2,
+            Track::Adapter => 3,
+            Track::Overlap => 4,
+            Track::Events => 5,
+            Track::Wire => 6,
+        }
+    }
+}
+
+/// The subsystem track a charged primitive operation belongs to:
+/// page referencing, wiring, faults and region machinery on the VM
+/// track; device, per-cell and overlay-pool work on the adapter
+/// track; copies, checksums, buffer management and fixed OS paths on
+/// the CPU track.
+pub fn track_for(op: Op) -> Track {
+    use Op::*;
+    match op {
+        Reference
+        | Unreference
+        | Wire
+        | Unwire
+        | ReadOnly
+        | Invalidate
+        | Swap
+        | RegionCreate
+        | RegionRemove
+        | RegionFill
+        | RegionFillOverlayRefill
+        | RegionMap
+        | RegionMarkOut
+        | RegionMarkIn
+        | RegionCheck
+        | RegionCheckUnrefReinstateMarkIn
+        | RegionCheckUnrefMarkIn
+        | Fault
+        | PageCopy => Track::Vm,
+        DeviceFixedSend | DeviceFixedRecv | DmaSetup | CellTx | CellRx | Overlay
+        | OverlayAllocate | OverlayDeallocate => Track::Adapter,
+        _ => Track::Cpu,
+    }
+}
+
+/// Span vs. point event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A duration on the timeline.
+    Span,
+    /// An instantaneous marker.
+    Instant,
+}
+
+/// One recorded trace event, in simulated time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Which timeline this event belongs to.
+    pub track: Track,
+    /// Event name (op name, phase name, or marker name).
+    pub name: &'static str,
+    /// Simulated start time.
+    pub start: SimTime,
+    /// Simulated duration (zero for instants).
+    pub dur: SimTime,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Bytes the event covered (0 if not applicable).
+    pub bytes: u64,
+    /// Units (pages or cells) the event covered.
+    pub units: u64,
+}
+
+/// A ring-buffered recorder of [`TraceEvent`]s for one host (or the
+/// world's link). Disabled by default; when disabled every recording
+/// call is a single branch.
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    enabled: bool,
+    ring: Vec<TraceEvent>,
+    /// Next write slot once the ring wrapped.
+    next: usize,
+    wrapped: bool,
+    capacity: usize,
+    dropped: u64,
+    /// Layout cursor for the overlap track: overlapped work is charged
+    /// at the host clock without advancing it, so consecutive charges
+    /// are laid end to end from their charge time to keep the track's
+    /// spans disjoint while preserving every duration.
+    overlap_cursor: SimTime,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer with the default ring capacity.
+    pub fn new() -> Self {
+        Tracer::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A disabled tracer with an explicit ring capacity (in events).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            enabled: false,
+            ring: Vec::new(),
+            next: 0,
+            wrapped: false,
+            capacity: capacity.max(1),
+            dropped: 0,
+            overlap_cursor: SimTime::ZERO,
+        }
+    }
+
+    /// Whether events are being recorded. Callers building event
+    /// arguments should check this first so the disabled path stays
+    /// zero-cost.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Events currently held (at most the capacity).
+    pub fn len(&self) -> usize {
+        if self.wrapped {
+            self.capacity
+        } else {
+            self.ring.len()
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted by the ring since the last [`Tracer::take`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    #[inline]
+    fn push(&mut self, ev: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.ring.len() < self.capacity {
+            self.ring.push(ev);
+        } else {
+            // Ring full: overwrite the oldest event.
+            self.ring[self.next] = ev;
+            self.next = (self.next + 1) % self.capacity;
+            self.wrapped = true;
+            self.dropped += 1;
+        }
+    }
+
+    /// Records a span.
+    #[inline]
+    pub fn span(
+        &mut self,
+        track: Track,
+        name: &'static str,
+        start: SimTime,
+        dur: SimTime,
+        bytes: usize,
+        units: usize,
+    ) {
+        self.push(TraceEvent {
+            track,
+            name,
+            start,
+            dur,
+            kind: EventKind::Span,
+            bytes: bytes as u64,
+            units: units as u64,
+        });
+    }
+
+    /// Records a latency-path operation charge: a span from the host
+    /// clock at charge time, on the op's subsystem track.
+    #[inline]
+    pub fn op_span(&mut self, op: Op, at: SimTime, cost: SimTime, bytes: usize, units: usize) {
+        self.span(track_for(op), op.name(), at, cost, bytes, units);
+    }
+
+    /// Records an overlapped operation charge on the overlap track,
+    /// laid out after any previously recorded overlapped work so spans
+    /// on the track never overlap (durations are exact; only the start
+    /// is deferred).
+    #[inline]
+    pub fn overlapped_op(
+        &mut self,
+        op: Op,
+        at: SimTime,
+        cost: SimTime,
+        bytes: usize,
+        units: usize,
+    ) {
+        let start = self.overlap_cursor.max(at);
+        self.overlap_cursor = start + cost;
+        self.span(Track::Overlap, op.name(), start, cost, bytes, units);
+    }
+
+    /// Records an instantaneous marker.
+    #[inline]
+    pub fn instant(&mut self, track: Track, name: &'static str, at: SimTime, units: usize) {
+        self.push(TraceEvent {
+            track,
+            name,
+            start: at,
+            dur: SimTime::ZERO,
+            kind: EventKind::Instant,
+            bytes: 0,
+            units: units as u64,
+        });
+    }
+
+    /// Drains the recorded events, oldest first, and resets the ring
+    /// (the enabled flag is left as is).
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        let mut out = std::mem::take(&mut self.ring);
+        if self.wrapped {
+            out.rotate_left(self.next);
+        }
+        self.next = 0;
+        self.wrapped = false;
+        self.dropped = 0;
+        self.overlap_cursor = SimTime::ZERO;
+        out
+    }
+}
+
+/// The merged trace of one simulated world: one event list per
+/// timeline owner (host A, host B, the link).
+#[derive(Clone, Debug, Default)]
+pub struct TraceSet {
+    /// `(owner label, events)` in a stable order.
+    pub owners: Vec<(&'static str, Vec<TraceEvent>)>,
+}
+
+impl TraceSet {
+    /// Total recorded events.
+    pub fn len(&self) -> usize {
+        self.owners.iter().map(|(_, e)| e.len()).sum()
+    }
+
+    /// True when no owner recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of span durations for `name` across every owner and track.
+    pub fn total_dur(&self, name: &str) -> SimTime {
+        let mut t = SimTime::ZERO;
+        for (_, events) in &self.owners {
+            for e in events {
+                if e.name == name {
+                    t += e.dur;
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::new();
+        t.span(Track::Cpu, "x", SimTime::ZERO, SimTime::from_us(1.0), 0, 0);
+        t.instant(Track::Events, "y", SimTime::ZERO, 0);
+        assert!(t.is_empty());
+        assert_eq!(t.take(), Vec::new());
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_events_in_order() {
+        let mut t = Tracer::with_capacity(4);
+        t.set_enabled(true);
+        for i in 0..7u64 {
+            t.span(
+                Track::Cpu,
+                "op",
+                SimTime::from_us(i as f64),
+                SimTime::ZERO,
+                i as usize,
+                0,
+            );
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 3);
+        let got = t.take();
+        let bytes: Vec<u64> = got.iter().map(|e| e.bytes).collect();
+        assert_eq!(bytes, vec![3, 4, 5, 6]);
+        assert_eq!(t.dropped(), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn overlap_cursor_keeps_spans_disjoint() {
+        let mut t = Tracer::new();
+        t.set_enabled(true);
+        let at = SimTime::from_us(10.0);
+        t.overlapped_op(Op::CellTx, at, SimTime::from_us(3.0), 0, 1);
+        t.overlapped_op(Op::DmaSetup, at, SimTime::from_us(2.0), 0, 0);
+        let got = t.take();
+        assert_eq!(got[0].start, at);
+        assert_eq!(got[1].start, at + SimTime::from_us(3.0));
+        assert_eq!(got[1].dur, SimTime::from_us(2.0));
+    }
+
+    #[test]
+    fn ops_route_to_subsystem_tracks() {
+        assert_eq!(track_for(Op::Reference), Track::Vm);
+        assert_eq!(track_for(Op::Swap), Track::Vm);
+        assert_eq!(track_for(Op::DeviceFixedSend), Track::Adapter);
+        assert_eq!(track_for(Op::CellTx), Track::Adapter);
+        assert_eq!(track_for(Op::Copyin), Track::Cpu);
+        assert_eq!(track_for(Op::OsFixedSend), Track::Cpu);
+    }
+
+    #[test]
+    fn trace_set_sums_durations_by_name() {
+        let mut a = Tracer::new();
+        a.set_enabled(true);
+        a.op_span(Op::Copyout, SimTime::ZERO, SimTime::from_us(5.0), 100, 1);
+        a.op_span(
+            Op::Copyout,
+            SimTime::from_us(5.0),
+            SimTime::from_us(2.0),
+            50,
+            1,
+        );
+        let set = TraceSet {
+            owners: vec![("host A", a.take())],
+        };
+        assert_eq!(set.total_dur("Copyout"), SimTime::from_us(7.0));
+        assert_eq!(set.total_dur("Copyin"), SimTime::ZERO);
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,261 @@
+//! A registry of named counters, gauges and histograms.
+//!
+//! The simulator's statistics were scattered across subsystems — the
+//! ledger's per-op stats, the fault subsystem's counters, the
+//! adapter's drop count, the VM's structural state. The registry
+//! unifies them behind one interface with a deterministic JSON dump:
+//! entries are kept in a `BTreeMap`, so iteration (and the JSON) is
+//! sorted by name regardless of insertion order.
+
+use std::collections::BTreeMap;
+
+use crate::chrome::escape;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` counts samples in `[2^(i-1), 2^i)` (bucket 0 counts
+/// zeros and ones). Fixed shape keeps recording allocation-free and
+/// the JSON deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = (64 - v.leading_zeros()).saturating_sub(1) as usize;
+        self.buckets[b.min(63)] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":{{",
+            self.count, self.sum, self.min, self.max
+        );
+        let mut first = true;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            // Keyed by the bucket's exclusive upper bound.
+            let upper = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+            s.push_str(&format!("\"{upper}\":{n}"));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// A metric value. The histogram is boxed so the common counter/gauge
+/// entries stay small.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Metric {
+    /// A monotonically accumulated count.
+    Counter(u64),
+    /// A point-in-time measurement.
+    Gauge(f64),
+    /// A sample distribution.
+    Histogram(Box<Histogram>),
+}
+
+/// A named collection of metrics with deterministic ordering.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    entries: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `v` to the counter `name` (creating it at zero).
+    pub fn add(&mut self, name: &str, v: u64) {
+        match self
+            .entries
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += v,
+            other => *other = Metric::Counter(v),
+        }
+    }
+
+    /// Sets the counter `name` to `v`.
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        self.entries.insert(name.to_string(), Metric::Counter(v));
+    }
+
+    /// Sets the gauge `name` to `v`.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.entries.insert(name.to_string(), Metric::Gauge(v));
+    }
+
+    /// Inserts a histogram under `name`.
+    pub fn set_histogram(&mut self, name: &str, h: Histogram) {
+        self.entries
+            .insert(name.to_string(), Metric::Histogram(Box::new(h)));
+    }
+
+    /// Looks up a metric.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.entries.get(name)
+    }
+
+    /// The counter's value, or 0 if absent or not a counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.entries.get(name) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Number of metrics registered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no metric is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates metrics in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Renders the registry as a JSON object, keys sorted, with
+    /// `indent` leading spaces per line.
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let mut out = String::from("{\n");
+        for (i, (name, m)) in self.entries.iter().enumerate() {
+            let val = match m {
+                Metric::Counter(c) => c.to_string(),
+                // Gauges carry simulated microseconds and ratios; six
+                // fractional digits is exact for the former and ample
+                // for the latter, and keeps the format deterministic.
+                Metric::Gauge(g) => format!("{g:.6}"),
+                Metric::Histogram(h) => h.to_json(),
+            };
+            out.push_str(&format!(
+                "{pad}  \"{}\": {}{}\n",
+                escape(name),
+                val,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!("{pad}}}"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let mut r = MetricsRegistry::new();
+        r.add("copies", 2);
+        r.add("copies", 3);
+        r.set_counter("wires", 7);
+        assert_eq!(r.counter("copies"), 5);
+        assert_eq!(r.counter("wires"), 7);
+        assert_eq!(r.counter("absent"), 0);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn json_is_sorted_and_deterministic() {
+        let mut r = MetricsRegistry::new();
+        r.set_gauge("z.ratio", 0.5);
+        r.add("a.count", 1);
+        let j = r.to_json(0);
+        let a = j.find("a.count").unwrap();
+        let z = j.find("z.ratio").unwrap();
+        assert!(a < z, "{j}");
+        assert!(j.contains("\"z.ratio\": 0.500000"));
+        assert_eq!(j, r.clone().to_json(0));
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        assert_eq!(h.max(), 1000);
+        let j = h.to_json();
+        // 0 and 1 land in the first bucket (upper bound 2); 2 and 3 in
+        // the next (4); 4 in (8); 1000 in (1024).
+        assert!(j.contains("\"2\":2"), "{j}");
+        assert!(j.contains("\"4\":2"), "{j}");
+        assert!(j.contains("\"8\":1"), "{j}");
+        assert!(j.contains("\"1024\":1"), "{j}");
+    }
+
+    #[test]
+    fn histogram_in_registry_renders_inline() {
+        let mut h = Histogram::new();
+        h.record(5);
+        let mut r = MetricsRegistry::new();
+        r.set_histogram("depth", h);
+        let j = r.to_json(2);
+        assert!(j.contains("\"depth\": {\"type\":\"histogram\""), "{j}");
+    }
+}

@@ -41,6 +41,33 @@ enum PageLoc {
     Paged,
 }
 
+/// Structural counters for the VM subsystem: how often each fault
+/// path ran and how the region machinery was exercised. Purely
+/// observational — never consulted by the simulation itself.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Calls into the fault handler.
+    pub faults_handled: u64,
+    /// Write faults resolved by a transient-COW page copy.
+    pub tcow_copies: u64,
+    /// Write faults resolved by a conventional COW page copy.
+    pub cow_copies: u64,
+    /// First-touch zero-fill faults.
+    pub zero_fills: u64,
+    /// Faults that paged content back in from backing store.
+    pub pages_paged_in: u64,
+    /// Pages replaced by the input-alignment swap interface.
+    pub page_swaps: u64,
+    /// Region wire operations.
+    pub region_wires: u64,
+    /// Region unwire operations.
+    pub region_unwires: u64,
+    /// Region hides (invalidations).
+    pub region_invalidations: u64,
+    /// Region reinstatements.
+    pub region_reinstates: u64,
+}
+
 /// The simulated VM subsystem of one host.
 #[derive(Clone, Debug)]
 pub struct Vm {
@@ -48,6 +75,7 @@ pub struct Vm {
     pub phys: PhysMem,
     objects: Vec<Option<MemoryObject>>,
     spaces: Vec<AddressSpace>,
+    stats: VmStats,
 }
 
 impl Vm {
@@ -57,7 +85,13 @@ impl Vm {
             phys,
             objects: Vec::new(),
             spaces: Vec::new(),
+            stats: VmStats::default(),
         }
+    }
+
+    /// Structural counters accumulated since creation.
+    pub fn stats(&self) -> VmStats {
+        self.stats
     }
 
     /// Page size in bytes.
@@ -300,6 +334,24 @@ impl Vm {
     /// take the TCOW paths (Section 5.1); pages found below the top
     /// take the conventional COW path.
     pub fn handle_fault(
+        &mut self,
+        space: SpaceId,
+        vpn: u64,
+        access: Access,
+    ) -> Result<FaultOutcome, VmError> {
+        let out = self.fault_inner(space, vpn, access)?;
+        self.stats.faults_handled += 1;
+        match out {
+            FaultOutcome::TcowCopied => self.stats.tcow_copies += 1,
+            FaultOutcome::CowCopied => self.stats.cow_copies += 1,
+            FaultOutcome::ZeroFilled => self.stats.zero_fills += 1,
+            FaultOutcome::PagedIn => self.stats.pages_paged_in += 1,
+            _ => {}
+        }
+        Ok(out)
+    }
+
+    fn fault_inner(
         &mut self,
         space: SpaceId,
         vpn: u64,
@@ -730,6 +782,7 @@ impl Vm {
                 self.space_mut(handle.space).set_prot(vpn, false, false);
             }
         }
+        self.stats.region_invalidations += 1;
         Ok(())
     }
 
@@ -743,6 +796,7 @@ impl Vm {
                 self.space_mut(handle.space).set_prot(vpn, true, writable);
             }
         }
+        self.stats.region_reinstates += 1;
         Ok(())
     }
 
@@ -781,6 +835,7 @@ impl Vm {
             }
         }
         self.region_mut(handle)?.wire_count += 1;
+        self.stats.region_wires += 1;
         Ok(faulted)
     }
 
@@ -791,6 +846,7 @@ impl Vm {
             return Err(VmError::WireUnderflow);
         }
         r.wire_count -= 1;
+        self.stats.region_unwires += 1;
         Ok(())
     }
 
@@ -830,6 +886,7 @@ impl Vm {
         if let Some(old) = old {
             let _ = self.phys.dealloc(old);
         }
+        self.stats.page_swaps += 1;
         Ok(old)
     }
 

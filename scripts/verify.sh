@@ -22,10 +22,19 @@ GENIE_FAULT_SWARM_SEEDS=20 cargo test --release --test fault_swarm -q
 
 echo "== report determinism (serial vs 4 threads) =="
 tmp_serial=$(mktemp) && tmp_par=$(mktemp)
-trap 'rm -f "$tmp_serial" "$tmp_par"' EXIT
+tmp_metrics=$(mktemp) && tmp_trace=$(mktemp)
+trap 'rm -f "$tmp_serial" "$tmp_par" "$tmp_metrics" "$tmp_trace"' EXIT
 ./target/release/report all --threads 1 >"$tmp_serial" 2>/dev/null
 ./target/release/report all --threads 4 >"$tmp_par" 2>/dev/null
 cmp "$tmp_serial" "$tmp_par"
 cmp "$tmp_serial" report_output.txt
+
+echo "== metrics and trace smoke =="
+./target/release/report --metrics >"$tmp_metrics" 2>/dev/null
+grep -q '"host_a.busy_us"' "$tmp_metrics"
+grep -q '"emulated copy"' "$tmp_metrics"
+./target/release/report --trace "$tmp_trace" >/dev/null 2>&1
+grep -q '"ph":"X"' "$tmp_trace"
+grep -q '"process_name"' "$tmp_trace"
 
 echo "verify: all checks passed"

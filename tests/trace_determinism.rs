@@ -1,0 +1,55 @@
+//! Trace determinism: the Perfetto export is a pure function of the
+//! experiment — byte-identical across repeated runs and worker-thread
+//! counts — and tracing never perturbs the simulation it observes.
+
+use genie::{ExperimentSetup, Semantics};
+use genie_machine::MachineSpec;
+
+#[test]
+fn trace_export_is_byte_identical_across_thread_counts() {
+    let mut exports = Vec::new();
+    for threads in [1, 2, 4] {
+        genie_runner::set_threads(threads);
+        exports.push((threads, genie_bench::inspect::trace_json()));
+    }
+    genie_runner::set_threads(0);
+    let (_, base) = &exports[0];
+    for (threads, json) in &exports[1..] {
+        assert_eq!(json, base, "trace differs at {threads} threads");
+    }
+    // And across repeated runs at the same thread count.
+    assert_eq!(&genie_bench::inspect::trace_json(), base);
+}
+
+#[test]
+fn metrics_dump_is_byte_identical_across_thread_counts() {
+    let mut dumps = Vec::new();
+    for threads in [1, 4] {
+        genie_runner::set_threads(threads);
+        dumps.push(genie_bench::inspect::metrics_json());
+    }
+    genie_runner::set_threads(0);
+    assert_eq!(dumps[0], dumps[1]);
+}
+
+#[test]
+fn tracing_does_not_perturb_measured_latency() {
+    let setup = ExperimentSetup::early_demux(MachineSpec::micron_p166());
+    for &sem in Semantics::ALL.iter() {
+        let plain = genie::measure_latency(&setup, sem, 61_440).expect("plain");
+        let (traced, trace, _) =
+            genie::measure_latency_traced(&setup, sem, 61_440).expect("traced");
+        assert_eq!(plain, traced, "{sem}: tracing changed the simulation");
+        assert!(!trace.is_empty(), "{sem}: traced run recorded nothing");
+    }
+}
+
+#[test]
+fn untraced_worlds_record_nothing() {
+    use genie::{HostId, World, WorldConfig};
+    let mut w = World::new(WorldConfig::default());
+    assert!(!w.tracing_enabled());
+    w.host_mut(HostId::A)
+        .charge_latency(genie_machine::Op::Copyin, 4096, 1);
+    assert!(w.take_trace().is_empty());
+}
