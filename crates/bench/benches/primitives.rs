@@ -51,12 +51,19 @@ fn vm_faults() {
 
 fn aal5_codec() {
     let payload = vec![0xa5u8; 61_440];
+    let mut cells = Vec::new();
     bench("substrate/aal5/segment_60k", 100, || {
-        std::hint::black_box(aal5::segment(1, &payload));
+        aal5::segment_into(1, &payload, &mut cells);
+        std::hint::black_box(&cells);
     });
-    let cells = aal5::segment(1, &payload);
+    aal5::segment_into(1, &payload, &mut cells);
+    let mut pdu = Vec::new();
     bench("substrate/aal5/reassemble_60k", 100, || {
-        std::hint::black_box(aal5::reassemble(&cells).expect("reassemble"));
+        aal5::reassemble_into(&cells, &mut pdu).expect("reassemble");
+        std::hint::black_box(&pdu);
+    });
+    bench("substrate/aal5/crc32_60k", 100, || {
+        std::hint::black_box(aal5::crc32(&payload));
     });
     bench("substrate/aal5/checksum16_60k", 100, || {
         std::hint::black_box(checksum16(&payload));

@@ -1,0 +1,178 @@
+//! Host-side microbenchmarks for the wire datapath.
+//!
+//! Times the pieces the zero-copy PR optimizes — CRC-32 over a 60 KB
+//! PDU, the cell codec (segment/reassemble into reused buffers), and a
+//! full 60 KB simulated exchange — and records the results as a
+//! `datapath_ns` section in `BENCH_report.json` so the perf trajectory
+//! is tracked across PRs. These are *host wall-clock* numbers; the
+//! simulated latencies the paper cares about are unaffected by them.
+//!
+//! Usage: `datapath [--quick] [--out PATH]`. `--quick` runs few
+//! iterations (CI smoke); the default iteration counts give stable
+//! means on an idle machine.
+
+use genie::{measure_latency, ExperimentSetup, Semantics, SeriesContext};
+use genie_bench::timing::{time_named, Timing};
+use genie_machine::MachineSpec;
+use genie_net::aal5;
+
+const PDU_60K: usize = 61_440;
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_report.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let iters = |full: u32| if quick { 5 } else { full };
+    let payload: Vec<u8> = (0..PDU_60K).map(|i| (i * 31 + 7) as u8).collect();
+    let mut results: Vec<Timing> = Vec::new();
+
+    results.push(time_named("datapath/crc32_60k", iters(300), || {
+        std::hint::black_box(aal5::crc32(std::hint::black_box(&payload)));
+    }));
+
+    let mut cells = Vec::new();
+    results.push(time_named("datapath/segment_60k", iters(200), || {
+        aal5::segment_into(1, std::hint::black_box(&payload), &mut cells);
+        std::hint::black_box(&cells);
+    }));
+
+    aal5::segment_into(1, &payload, &mut cells);
+    let mut pdu = Vec::new();
+    results.push(time_named("datapath/reassemble_60k", iters(200), || {
+        aal5::reassemble_into(std::hint::black_box(&cells), &mut pdu).expect("reassemble");
+        std::hint::black_box(&pdu);
+    }));
+
+    // One full simulated 60 KB exchange, host wall-clock, world built
+    // once and reused as the sweeps do. A `SeriesContext` keeps each
+    // measurement's send buffer live (series semantics), so size the
+    // frame budget for every timed call up front; construction stays
+    // outside the timed region.
+    let setup = ExperimentSetup::early_demux(MachineSpec::micron_p166());
+    let calls = iters(60) + 1; // timed iterations plus the warm-up pass
+    let mut ctx = SeriesContext::new(&setup, &vec![PDU_60K; calls as usize]);
+    results.push(time_named("datapath/exchange_60k_copy", calls - 1, || {
+        ctx.measure_latency(Semantics::Copy, PDU_60K)
+            .expect("exchange");
+    }));
+
+    // The same exchange including world construction (frame zeroing),
+    // which dominates one-shot measurements.
+    results.push(time_named(
+        "datapath/exchange_60k_fresh_world",
+        iters(40),
+        || {
+            measure_latency(&setup, Semantics::Copy, PDU_60K).expect("exchange");
+        },
+    ));
+
+    for t in &results {
+        println!("{}", t.line());
+    }
+
+    let section = render_section(&results);
+    let merged = match std::fs::read_to_string(&out_path) {
+        Ok(existing) => splice_section(&existing, &section),
+        Err(_) => format!("{{\n{section}\n}}\n"),
+    };
+    std::fs::write(&out_path, merged).expect("write BENCH_report.json");
+    println!("datapath_ns section written to {out_path}");
+}
+
+/// Renders the `datapath_ns` JSON section (no trailing comma/newline).
+fn render_section(results: &[Timing]) -> String {
+    let mut s = String::from("  \"datapath_ns\": {\n");
+    for (i, t) in results.iter().enumerate() {
+        let name = t.name.trim_start_matches("datapath/");
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    \"{}\": {:.1}{}\n",
+            name,
+            t.mean_ms * 1e6,
+            comma
+        ));
+    }
+    s.push_str("  }");
+    s
+}
+
+/// Splices `section` into an existing top-level JSON object, replacing
+/// any previous `datapath_ns` section. Text-based on purpose: the
+/// report's JSON writer is hand-rolled (no JSON dependency) and emits a
+/// known shape.
+fn splice_section(existing: &str, section: &str) -> String {
+    let body = strip_section(existing, "\"datapath_ns\"");
+    let trimmed = body.trim_end();
+    let Some(stripped) = trimmed.strip_suffix('}') else {
+        // Not a JSON object we recognize; start fresh rather than
+        // corrupting the file further.
+        return format!("{{\n{section}\n}}\n");
+    };
+    let inner = stripped.trim_end();
+    if inner.ends_with('{') {
+        // Empty object.
+        format!("{{\n{section}\n}}\n")
+    } else {
+        format!("{inner},\n{section}\n}}\n")
+    }
+}
+
+/// Removes a `"key": { ... }` member (and the comma that precedes or
+/// follows it) from a JSON object rendered one member per line.
+fn strip_section(json: &str, key: &str) -> String {
+    let Some(start) = json.find(key) else {
+        return json.to_string();
+    };
+    let open = match json[start..].find('{') {
+        Some(off) => start + off,
+        None => return json.to_string(),
+    };
+    let mut depth = 0usize;
+    let mut close = None;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(open + i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(mut end) = close else {
+        return json.to_string();
+    };
+    end += 1;
+    // Drop the member's leading whitespace and the separator comma
+    // (before it, or after it if it was the first member).
+    let mut begin = start;
+    while begin > 0 && json.as_bytes()[begin - 1].is_ascii_whitespace() {
+        begin -= 1;
+    }
+    if begin > 0 && json.as_bytes()[begin - 1] == b',' {
+        begin -= 1;
+    } else {
+        let bytes = json.as_bytes();
+        while end < bytes.len() && bytes[end].is_ascii_whitespace() {
+            end += 1;
+        }
+        if end < bytes.len() && bytes[end] == b',' {
+            end += 1;
+        }
+    }
+    format!("{}{}", &json[..begin], &json[end..])
+}

@@ -124,6 +124,32 @@ fn payload(len: usize, seed: u8) -> Vec<u8> {
         .collect()
 }
 
+thread_local! {
+    /// Reused payload pattern buffers: a sweep measures thousands of
+    /// points, and a fresh pattern `Vec` per measured exchange was a
+    /// visible slice of host wall-clock.
+    static PAYLOAD_POOL: std::cell::RefCell<Vec<Vec<u8>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` over the deterministic payload pattern in a pooled buffer
+/// (same bytes as [`payload`], no per-call allocation at steady state).
+fn with_payload<R>(len: usize, seed: u8, f: impl FnOnce(&[u8]) -> R) -> R {
+    let mut buf = PAYLOAD_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default();
+    buf.clear();
+    buf.extend((0..len).map(|i| (i as u64).wrapping_mul(31).wrapping_add(seed as u64) as u8));
+    let r = f(&buf);
+    PAYLOAD_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < 8 {
+            pool.push(buf);
+        }
+    });
+    r
+}
+
 /// A reusable measurement context: one `World` (with its sender and
 /// receiver processes) shared by consecutive measurements of a series.
 ///
@@ -173,19 +199,20 @@ impl SeriesContext {
         let mut last = SimTime::ZERO;
         let mut app_bufs: Option<(u64, u64)> = None;
         for round in 0..2u8 {
-            let data = payload(bytes, round);
-            last = one_exchange_between(
-                &mut self.w,
-                semantics,
-                Vc(1),
-                HostId::A,
-                self.tx,
-                HostId::B,
-                self.rx,
-                self.setup.recv_page_off,
-                &data,
-                &mut app_bufs,
-            )?;
+            last = with_payload(bytes, round, |data| {
+                one_exchange_between(
+                    &mut self.w,
+                    semantics,
+                    Vc(1),
+                    HostId::A,
+                    self.tx,
+                    HostId::B,
+                    self.rx,
+                    self.setup.recv_page_off,
+                    data,
+                    &mut app_bufs,
+                )
+            })?;
         }
         Ok(last)
     }
@@ -210,18 +237,20 @@ impl SeriesContext {
         let mut app_bufs: Option<(u64, u64)> = None;
         let (tx, rx, page_off) = (self.tx, self.rx, self.setup.recv_page_off);
         let exchange = |w: &mut World, seed: u8, bufs: &mut Option<(u64, u64)>| {
-            one_exchange_between(
-                w,
-                semantics,
-                Vc(1),
-                HostId::A,
-                tx,
-                HostId::B,
-                rx,
-                page_off,
-                &payload(bytes, seed),
-                bufs,
-            )
+            with_payload(bytes, seed, |data| {
+                one_exchange_between(
+                    w,
+                    semantics,
+                    Vc(1),
+                    HostId::A,
+                    tx,
+                    HostId::B,
+                    rx,
+                    page_off,
+                    data,
+                    bufs,
+                )
+            })
         };
         exchange(&mut self.w, 0, &mut app_bufs)?;
         for h in [HostId::A, HostId::B] {
@@ -247,18 +276,20 @@ impl SeriesContext {
         let mut app_bufs: Option<(u64, u64)> = None;
         let (tx, rx, page_off) = (self.tx, self.rx, self.setup.recv_page_off);
         let exchange = |w: &mut World, seed: u8, bufs: &mut Option<(u64, u64)>| {
-            one_exchange_between(
-                w,
-                semantics,
-                Vc(1),
-                HostId::A,
-                tx,
-                HostId::B,
-                rx,
-                page_off,
-                &payload(bytes, seed),
-                bufs,
-            )
+            with_payload(bytes, seed, |data| {
+                one_exchange_between(
+                    w,
+                    semantics,
+                    Vc(1),
+                    HostId::A,
+                    tx,
+                    HostId::B,
+                    rx,
+                    page_off,
+                    data,
+                    bufs,
+                )
+            })
         };
         exchange(&mut self.w, 0, &mut app_bufs)?;
         self.w.host_mut(HostId::A).ledger.record_samples(true);
@@ -353,31 +384,35 @@ pub fn measure_ping_pong(
 
     let mut half_round = |w: &mut World, dir: bool, seed: u8| -> Result<SimTime, GenieError> {
         if dir {
-            one_exchange_between(
-                w,
-                semantics,
-                Vc(1),
-                HostId::A,
-                pa,
-                HostId::B,
-                pb,
-                setup.recv_page_off,
-                &payload(bytes, seed),
-                &mut bufs_ab,
-            )
+            with_payload(bytes, seed, |data| {
+                one_exchange_between(
+                    w,
+                    semantics,
+                    Vc(1),
+                    HostId::A,
+                    pa,
+                    HostId::B,
+                    pb,
+                    setup.recv_page_off,
+                    data,
+                    &mut bufs_ab,
+                )
+            })
         } else {
-            one_exchange_between(
-                w,
-                semantics,
-                Vc(2),
-                HostId::B,
-                pb,
-                HostId::A,
-                pa,
-                setup.recv_page_off,
-                &payload(bytes, seed),
-                &mut bufs_ba,
-            )
+            with_payload(bytes, seed, |data| {
+                one_exchange_between(
+                    w,
+                    semantics,
+                    Vc(2),
+                    HostId::B,
+                    pb,
+                    HostId::A,
+                    pa,
+                    setup.recv_page_off,
+                    data,
+                    &mut bufs_ba,
+                )
+            })
         }
     };
 
@@ -501,19 +536,11 @@ pub fn measure_stream(
     // Fire all outputs back to back; prepare stages serialize on the
     // sender CPU, transmissions on the wire.
     for i in 0..count {
-        let data = payload(bytes, i as u8);
         let src = match semantics.allocation() {
-            Allocation::Application => {
-                let s = w.host_mut(HostId::A).alloc_buffer(tx, bytes, 0)?;
-                w.app_write(HostId::A, tx, s, &data)?;
-                s
-            }
-            Allocation::System => {
-                let (_r, s) = w.host_mut(HostId::A).alloc_io_buffer(tx, bytes)?;
-                w.app_write(HostId::A, tx, s, &data)?;
-                s
-            }
+            Allocation::Application => w.host_mut(HostId::A).alloc_buffer(tx, bytes, 0)?,
+            Allocation::System => w.host_mut(HostId::A).alloc_io_buffer(tx, bytes)?.1,
         };
+        with_payload(bytes, i as u8, |data| w.app_write(HostId::A, tx, src, data))?;
         w.output(
             HostId::A,
             OutputRequest::new(semantics, Vc(1), tx, src, bytes),

@@ -29,7 +29,7 @@ use genie_fault::{FaultConfig, FaultPlan, FaultStats, Oracle, WireDamage};
 use genie_machine::link::CELL_PAYLOAD;
 use genie_machine::{Op, SimTime};
 use genie_mem::FrameId;
-use genie_net::{aal5, Vc};
+use genie_net::{aal5, Vc, WirePdu};
 use genie_vm::pageout::PageoutPolicy;
 
 use crate::world::{Event, HostId, World};
@@ -63,7 +63,7 @@ pub(crate) struct Inflight {
 #[derive(Debug)]
 pub(crate) struct HeldPdu {
     pub token: u64,
-    pub payload: Vec<u8>,
+    pub pdu: WirePdu,
     pub sent_at: SimTime,
     pub tries: u32,
 }
@@ -135,8 +135,14 @@ impl World {
     /// real AAL5 codec. Returns true if the PDU still reassembles to
     /// the original bytes (benign damage, e.g. swapping identical
     /// cells); false means the receiving adapter will discard it.
+    ///
+    /// This is the one place the fast path materializes real cells:
+    /// damage is defined on cells, so the PDU is segmented into the
+    /// world's scratch cell buffer, damaged, and reassembled into a
+    /// pooled buffer — the only per-PDU allocations are warm-up.
     pub(crate) fn apply_wire_damage(&mut self, vc: Vc, bytes: &[u8], damage: WireDamage) -> bool {
-        let mut cells = aal5::segment(vc.0, bytes);
+        let mut cells = std::mem::take(&mut self.scratch_cells);
+        aal5::segment_into(vc.0, bytes, &mut cells);
         match damage {
             WireDamage::DropCell(i) => {
                 if i < cells.len() {
@@ -154,10 +160,15 @@ impl World {
                 }
             }
         }
-        match aal5::reassemble(&cells) {
-            Ok(pdu) => pdu == bytes,
+        let mut pdu = self.take_payload_buf();
+        let intact = match aal5::reassemble_into(&cells, &mut pdu) {
+            Ok(()) => pdu == bytes,
             Err(_) => false,
-        }
+        };
+        self.recycle_payload(pdu);
+        cells.clear();
+        self.scratch_cells = cells;
+        intact
     }
 
     /// Transient credit starvation: steal credits from the sender's VC
@@ -212,7 +223,9 @@ impl World {
         inf.attempts += 1;
         if inf.attempts > MAX_RETRANSMIT_ATTEMPTS {
             self.fault.stats.retransmits_abandoned += 1;
-            self.fault.inflight.remove(&token);
+            if let Some(inf) = self.fault.inflight.remove(&token) {
+                self.recycle_payload(inf.bytes);
+            }
             return;
         }
         let at = time + backoff(inf.attempts);
@@ -223,18 +236,21 @@ impl World {
     /// retransmission itself goes through the fault plan, so repeated
     /// damage keeps recovering until the plan's budget runs dry.
     pub(crate) fn on_retransmit(&mut self, time: SimTime, token: u64) {
-        let Some(inf) = self.fault.inflight.get(&token) else {
+        // Take the inflight entry out of the map for the duration so
+        // its wire image can be borrowed without cloning; it is put
+        // back before returning.
+        let Some(inf) = self.fault.inflight.remove(&token) else {
             return; // delivered in the meantime
         };
         let (from, vc, cells, sent_at) = (inf.from, inf.vc, inf.cells, inf.sent_at);
-        let bytes = inf.bytes.clone();
-        let total = bytes.len();
+        let total = inf.bytes.len();
         if !self.hosts[from.idx()]
             .adapter
             .try_send_credits(vc, cells as u32)
         {
             self.events
                 .push(time + SimTime::from_us(50.0), Event::Retransmit { token });
+            self.fault.inflight.insert(token, inf);
             return;
         }
         self.fault.stats.retransmits += 1;
@@ -257,20 +273,23 @@ impl World {
             arrival += extra;
         }
         let intact = match verdict.damage {
-            Some(damage) => self.apply_wire_damage(vc, &bytes, damage),
+            Some(damage) => self.apply_wire_damage(vc, &inf.bytes, damage),
             None => true,
         };
         if intact {
             let mut payload = self.take_payload_buf();
-            payload.extend_from_slice(&bytes);
+            payload.extend_from_slice(&inf.bytes);
+            let mut pdu = WirePdu::new(vc.0, payload);
+            if self.force_cells {
+                pdu = self.roundtrip_through_cells(pdu);
+            }
             self.events.push(
                 arrival,
                 Event::Arrive {
                     to: from.peer(),
                     vc,
-                    payload,
+                    pdu,
                     sent_at,
-                    cells,
                     token,
                 },
             );
@@ -286,6 +305,7 @@ impl World {
                 },
             );
         }
+        self.fault.inflight.insert(token, inf);
     }
 
     /// A damaged PDU reached the receiving adapter: AAL5 reassembly
@@ -402,11 +422,13 @@ impl World {
             else {
                 return;
             };
-            let consumed = self.deliver_pdu(to, vc, &held.payload, held.sent_at);
+            let consumed = self.deliver_pdu(to, vc, held.pdu.payload(), held.sent_at);
             if consumed {
                 self.fault.rx_next_seq.insert(key, next + 1);
-                self.fault.inflight.remove(&held.token);
-                self.recycle_payload(held.payload);
+                if let Some(inf) = self.fault.inflight.remove(&held.token) {
+                    self.recycle_payload(inf.bytes);
+                }
+                self.recycle_pdu(held.pdu);
                 continue;
             }
             // Out of buffering: the sequence window stays put so later
@@ -415,7 +437,7 @@ impl World {
             held.tries += 1;
             if held.tries > MAX_REDELIVER_TRIES {
                 let token = held.token;
-                self.recycle_payload(held.payload);
+                self.recycle_pdu(held.pdu);
                 self.schedule_retransmit(time, token);
             } else {
                 self.fault

@@ -258,18 +258,17 @@ impl World {
     /// delivery — direct in a fault-free world, gated by per-VC
     /// sequence order when a fault plan is active (so retransmissions
     /// slot back in order).
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_arrive(
         &mut self,
         time: SimTime,
         to: HostId,
         vc: Vc,
-        payload: Vec<u8>,
+        pdu: genie_net::WirePdu,
         sent_at: SimTime,
-        cells: usize,
         token: u64,
     ) {
-        let total = payload.len();
+        let total = pdu.len();
+        let cells = pdu.n_cells();
         {
             let host = self.host_mut(to);
             host.clock = host.clock.max(time);
@@ -293,14 +292,14 @@ impl World {
         }
 
         if !self.fault.plan.active() {
-            self.deliver_pdu(to, vc, &payload, sent_at);
-            self.recycle_payload(payload);
+            self.deliver_pdu(to, vc, pdu.payload(), sent_at);
+            self.recycle_pdu(pdu);
             return;
         }
 
         // Faulted world: hold the PDU until every lower sequence number
         // on this VC has been delivered, discarding stale arrivals.
-        let header = DatagramHeader::decode(&payload).expect("header fits");
+        let header = DatagramHeader::decode(pdu.payload()).expect("header fits");
         let seq = header.seq;
         let key = (to.idx(), vc.0);
         let next = *self.fault.rx_next_seq.get(&key).unwrap_or(&0);
@@ -311,8 +310,10 @@ impl World {
             .is_some_and(|m| m.contains_key(&seq));
         if seq < next || already_held {
             self.fault.stats.duplicates_discarded += 1;
-            self.fault.inflight.remove(&token);
-            self.recycle_payload(payload);
+            if let Some(inf) = self.fault.inflight.remove(&token) {
+                self.recycle_payload(inf.bytes);
+            }
+            self.recycle_pdu(pdu);
             return;
         }
         if seq > next {
@@ -331,7 +332,7 @@ impl World {
             seq,
             crate::faults::HeldPdu {
                 token,
-                payload,
+                pdu,
                 sent_at,
                 tries: 0,
             },
@@ -520,42 +521,34 @@ impl World {
     /// Completes a backlogged PDU against a late input operation.
     fn complete_backlogged(&mut self, to: HostId, p: PendingRecv, pdu: BackloggedPdu) {
         // Reconstruct the header from the stored bytes.
-        let header_bytes = match &pdu.placed {
+        let mut header_bytes = [0u8; HEADER_LEN];
+        match &pdu.placed {
             PlacedPayload::Overlay(frames) => {
                 let (f, _) = frames[0];
-                self.host(to)
-                    .vm
-                    .phys
-                    .read(f, 0, HEADER_LEN)
-                    .expect("header in first overlay page")
-                    .to_vec()
+                header_bytes.copy_from_slice(
+                    self.host(to)
+                        .vm
+                        .phys
+                        .read(f, 0, HEADER_LEN)
+                        .expect("header in first overlay page"),
+                );
             }
             PlacedPayload::Outboard(buf) => {
-                self.host(to).adapter.outboard_data(*buf).expect("buf")[..HEADER_LEN].to_vec()
+                header_bytes.copy_from_slice(
+                    &self.host(to).adapter.outboard_data(*buf).expect("buf")[..HEADER_LEN],
+                );
             }
             _ => unreachable!("backlog holds overlay or outboard payloads"),
-        };
+        }
         let header = DatagramHeader::decode(&header_bytes).expect("header");
         self.dispose_input(to, p, pdu.placed, header, pdu.sent_at);
     }
 
-    /// Reads the PDU bytes (header included) out of a placement.
-    fn placed_pdu_bytes(&self, to: HostId, placed: &PlacedPayload, total: usize) -> Vec<u8> {
-        match placed {
-            PlacedPayload::Overlay(frames) => {
-                let mut out = Vec::with_capacity(total);
-                for &(f, n) in frames {
-                    out.extend_from_slice(self.host(to).vm.phys.read(f, 0, n).expect("overlay"));
-                }
-                out
-            }
-            PlacedPayload::Outboard(buf) => self
-                .host(to)
-                .adapter
-                .outboard_data(*buf)
-                .expect("outboard")
-                .to_vec(),
-            _ => unreachable!("only pooled/outboard placements carry the raw PDU"),
+    /// Reads the PDU bytes (header included) out of overlay frames
+    /// into a caller-provided (normally pooled) buffer.
+    fn overlay_pdu_into(&self, to: HostId, frames: &[(FrameId, usize)], out: &mut Vec<u8>) {
+        for &(f, n) in frames {
+            out.extend_from_slice(self.host(to).vm.phys.read(f, 0, n).expect("overlay"));
         }
     }
 
@@ -578,7 +571,7 @@ impl World {
             PlacedPayload::Overlay(frames) => self.dispose_overlay(to, &p, frames, data_len),
             PlacedPayload::Outboard(buf) => {
                 let (vaddr, region) = self.dispose_outboard(to, &p, buf, data_len);
-                self.host_mut(to).adapter.outboard_free(buf);
+                self.host_mut(to).adapter.outboard_release(buf);
                 (vaddr, region)
             }
         };
@@ -719,15 +712,15 @@ impl World {
         data_len: usize,
     ) -> (u64, Option<RegionHandle>) {
         let page = self.host(to).page_size();
-        let host = self.host_mut(to);
         match p.semantics {
             Semantics::Copy => {
                 let (vaddr, _len) = p.app.expect("app buffer");
+                let mut data = self.take_payload_buf();
+                let host = self.host_mut(to);
                 let pages = host
                     .machine()
                     .pages_spanned((vaddr % page as u64) as usize, data_len);
                 host.charge_latency(Op::Copyout, data_len, pages);
-                let mut data = Vec::with_capacity(data_len);
                 for (i, &f) in frames.iter().enumerate() {
                     let n = (data_len - i * page).min(page);
                     data.extend_from_slice(host.vm.phys.read(f, 0, n).expect("sys frame"));
@@ -735,9 +728,11 @@ impl World {
                 host.vm.write_app(p.space, vaddr, &data).expect("copyout");
                 host.charge_latency(Op::SysBufDeallocate, 0, 0);
                 host.free_kernel_frames(frames);
+                self.recycle_payload(data);
                 (vaddr, None)
             }
             Semantics::Move => {
+                let host = self.host_mut(to);
                 // Create region; zero-complete system pages; fill; map;
                 // mark moved in.
                 let npages = frames.len() as u64;
@@ -907,7 +902,8 @@ impl World {
         let result = match p.semantics {
             Semantics::Copy => {
                 let (vaddr, _len) = p.app.expect("app buffer");
-                let pdu = self.placed_pdu_bytes(to, &PlacedPayload::Overlay(frames.clone()), total);
+                let mut pdu = self.take_payload_buf();
+                self.overlay_pdu_into(to, &frames, &mut pdu);
                 let host = self.host_mut(to);
                 let pages = host
                     .machine()
@@ -916,6 +912,7 @@ impl World {
                 host.vm
                     .write_app(p.space, vaddr, &pdu[HEADER_LEN..HEADER_LEN + data_len])
                     .expect("copyout");
+                self.recycle_payload(pdu);
                 self.return_overlay_frames(to, overlay_frames, total, overlay_pages);
                 (vaddr, None)
             }
@@ -962,13 +959,14 @@ impl World {
                         .collect();
                     self.return_overlay_frames(to, leftover, total, overlay_pages);
                 } else {
-                    let pdu =
-                        self.placed_pdu_bytes(to, &PlacedPayload::Overlay(frames.clone()), total);
+                    let mut pdu = self.take_payload_buf();
+                    self.overlay_pdu_into(to, &frames, &mut pdu);
                     let host = self.host_mut(to);
                     host.charge_latency(Op::Copyout, data_len, pages);
                     host.vm
                         .write_app(p.space, vaddr, &pdu[HEADER_LEN..HEADER_LEN + data_len])
                         .expect("copyout");
+                    self.recycle_payload(pdu);
                     self.return_overlay_frames(to, overlay_frames, total, overlay_pages);
                 }
                 (vaddr, None)
@@ -1079,13 +1077,15 @@ impl World {
         data_len: usize,
     ) -> (u64, Option<RegionHandle>) {
         let total = data_len + HEADER_LEN;
-        let pdu = self
-            .host(to)
-            .adapter
-            .outboard_data(buf)
-            .expect("outboard buffer")
-            .to_vec();
-        let data = &pdu[HEADER_LEN..HEADER_LEN + data_len];
+        // Copy the stored wire PDU into a pooled buffer so the borrow
+        // of the adapter's outboard slot ends before the host mutates.
+        let mut pdu = self.take_payload_buf();
+        pdu.extend_from_slice(
+            self.host(to)
+                .adapter
+                .outboard_data(buf)
+                .expect("outboard buffer"),
+        );
         // Store-and-forward: the host-side DMA happens now, adding its
         // full transfer time to the critical path.
         let dma_time = self.dma.transfer_time(total);
@@ -1105,9 +1105,15 @@ impl World {
                 .reference_pages(p.space, vaddr, data_len, IoDir::Input)
                 .expect("reference app buffer");
             host.clock += dma_time;
-            Adapter::dma_scatter(&mut host.vm.phys, &desc.vecs, data).expect("outboard dma");
+            Adapter::dma_scatter(
+                &mut host.vm.phys,
+                &desc.vecs,
+                &pdu[HEADER_LEN..HEADER_LEN + data_len],
+            )
+            .expect("outboard dma");
             host.charge_latency(Op::Unreference, data_len, pages);
             host.vm.unreference(&desc).expect("unreference");
+            self.recycle_payload(pdu);
             return (vaddr, None);
         }
 
@@ -1115,8 +1121,9 @@ impl World {
         // the outboard data, after the store-and-forward DMA.
         self.host_mut(to).clock += dma_time;
         let placed = self
-            .place_early(to, p, data)
+            .place_early(to, p, &pdu[HEADER_LEN..HEADER_LEN + data_len])
             .expect("early placement from outboard");
+        self.recycle_payload(pdu);
         match placed {
             PlacedPayload::Direct => self.dispose_direct(to, p, data_len),
             PlacedPayload::SysFrames(frames) => self.dispose_sys_frames(to, p, frames, data_len),

@@ -383,20 +383,33 @@ impl World {
         let mut arrival = wire_done + self.link.fixed_latency + dev_rx;
         let mut txdone = wire_start.max(time) + self.dma.transfer_time(total);
 
+        // The wire image: one contiguous pooled buffer plus cell
+        // metadata. Real cells exist only on the slow path (fault
+        // damage, forced cell codec).
+        let mut pdu = genie_net::WirePdu::new(vc.0, payload);
+        debug_assert_eq!(pdu.n_cells(), cells, "cell metadata disagrees with charge");
+        if self.force_cells {
+            pdu = self.roundtrip_through_cells(pdu);
+        }
+
         if self.fault.plan.active() {
             // The adapter keeps the wire image for retransmission until
             // the peer delivers this PDU in order.
-            self.fault
-                .inflight
-                .entry(token)
-                .or_insert_with(|| crate::faults::Inflight {
-                    from,
-                    vc,
-                    bytes: payload.clone(),
-                    cells,
-                    sent_at,
-                    attempts: 0,
-                });
+            if !self.fault.inflight.contains_key(&token) {
+                let mut bytes = self.take_payload_buf();
+                bytes.extend_from_slice(pdu.payload());
+                self.fault.inflight.insert(
+                    token,
+                    crate::faults::Inflight {
+                        from,
+                        vc,
+                        bytes,
+                        cells,
+                        sent_at,
+                        attempts: 0,
+                    },
+                );
+            }
             let verdict = self.fault.plan.wire(cells);
             if let Some(extra) = verdict.extra_delay {
                 self.fault.stats.pdus_delayed += 1;
@@ -407,9 +420,9 @@ impl World {
                 txdone += d;
             }
             if let Some(damage) = verdict.damage {
-                if !self.apply_wire_damage(vc, &payload, damage) {
+                if !self.apply_wire_damage(vc, pdu.payload(), damage) {
                     self.fault.stats.pdus_damaged += 1;
-                    self.recycle_payload(payload);
+                    self.recycle_pdu(pdu);
                     self.events.push(
                         arrival,
                         Event::ArriveDamaged {
@@ -430,9 +443,8 @@ impl World {
             Event::Arrive {
                 to: from.peer(),
                 vc,
-                payload,
+                pdu,
                 sent_at,
-                cells,
                 token,
             },
         );

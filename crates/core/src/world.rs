@@ -12,7 +12,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use genie_machine::{LinkSpec, MachineSpec, Op, SimTime};
-use genie_net::{DmaModel, EventQueue, InputBuffering, Vc};
+use genie_net::{DmaModel, EventQueue, InputBuffering, Vc, WirePdu};
 use genie_vm::SpaceId;
 
 use crate::config::GenieConfig;
@@ -105,13 +105,15 @@ pub(crate) enum Event {
     Transmit { token: u64 },
     /// Transmit-side DMA finished: run the sender's dispose stage.
     TxDone { token: u64 },
-    /// The PDU reached the receiving adapter intact.
+    /// The PDU reached the receiving adapter intact. The PDU travels
+    /// the wire as one contiguous [`WirePdu`] — cell count and AAL5
+    /// trailer are metadata; 48-byte cells are never materialized on
+    /// this fast path.
     Arrive {
         to: HostId,
         vc: Vc,
-        payload: Vec<u8>,
+        pdu: WirePdu,
         sent_at: SimTime,
-        cells: usize,
         token: u64,
     },
     /// A damaged PDU reached the receiving adapter (AAL5 reassembly
@@ -167,6 +169,14 @@ pub struct World {
     /// these, arrival returns it, so steady-state traffic allocates no
     /// per-datagram payload Vec.
     pub(crate) spare_payloads: Vec<Vec<u8>>,
+    /// Scratch cell storage for the slow path (fault damage and the
+    /// forced cell path), reused across PDUs.
+    pub(crate) scratch_cells: Vec<genie_net::Cell>,
+    /// When set, every transmitted PDU is round-tripped through the
+    /// materialized cell codec (segment + reassemble) before arrival.
+    /// Pure byte shuffling — no charges — so it must be observationally
+    /// identical to the fast path; equivalence tests flip this on.
+    pub(crate) force_cells: bool,
     /// Fault-injection plan, counters, oracle and recovery state.
     pub(crate) fault: crate::faults::FaultState,
     /// World-level tracer for link occupancy (per-host work is traced
@@ -203,6 +213,8 @@ impl World {
             link_busy_until: [SimTime::ZERO; 2],
             txq: BTreeMap::new(),
             spare_payloads: Vec::new(),
+            scratch_cells: Vec::new(),
+            force_cells: false,
             fault: crate::faults::FaultState::new(cfg.fault),
             wire_tracer: genie_trace::Tracer::new(),
         }
@@ -223,6 +235,35 @@ impl World {
         if self.spare_payloads.len() < 32 && buf.capacity() > 0 {
             self.spare_payloads.push(buf);
         }
+    }
+
+    /// Returns a consumed wire PDU's payload storage to the spare pool.
+    pub(crate) fn recycle_pdu(&mut self, pdu: WirePdu) {
+        self.recycle_payload(pdu.into_payload());
+    }
+
+    /// Forces every transmission through the materialized cell codec
+    /// (the slow path) instead of the contiguous fast path. Charges are
+    /// unaffected, so simulated behavior must be identical; equivalence
+    /// tests use this to check the fast path against the cell codec.
+    pub fn set_force_cell_path(&mut self, on: bool) {
+        self.force_cells = on;
+    }
+
+    /// Slow-path round trip: segments `pdu` into real cells and
+    /// reassembles them into a pooled buffer, returning the rebuilt
+    /// PDU. Byte shuffling only — no simulated charges.
+    pub(crate) fn roundtrip_through_cells(&mut self, pdu: WirePdu) -> WirePdu {
+        let mut cells = std::mem::take(&mut self.scratch_cells);
+        pdu.materialize_into(&mut cells);
+        let mut bytes = self.take_payload_buf();
+        genie_net::reassemble_into(&cells, &mut bytes).expect("materialized cells must reassemble");
+        cells.clear();
+        self.scratch_cells = cells;
+        let rebuilt = WirePdu::new(pdu.vc(), bytes);
+        debug_assert_eq!(rebuilt, pdu, "cell codec round trip changed the PDU");
+        self.recycle_pdu(pdu);
+        rebuilt
     }
 
     /// Shared access to a host.
@@ -322,11 +363,10 @@ impl World {
                 Event::Arrive {
                     to,
                     vc,
-                    payload,
+                    pdu,
                     sent_at,
-                    cells,
                     token,
-                } => self.on_arrive(time, to, vc, payload, sent_at, cells, token),
+                } => self.on_arrive(time, to, vc, pdu, sent_at, token),
                 Event::ArriveDamaged {
                     to,
                     vc,

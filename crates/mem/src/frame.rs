@@ -37,6 +37,11 @@ pub enum FrameState {
 #[derive(Clone, Debug)]
 pub struct Frame {
     data: Box<[u8]>,
+    /// True once anything may have written the page since it was last
+    /// known to be all-zero. Clean pages skip the scrub on recycling
+    /// and on `alloc_zeroed` — most frames of a world are never
+    /// touched, and zero-filling them dominated sweep wall-clock.
+    dirty: bool,
     in_count: u16,
     out_count: u16,
     state: FrameState,
@@ -51,6 +56,7 @@ impl Frame {
     pub fn new(page_size: usize) -> Self {
         Frame {
             data: crate::pool::take_zeroed(page_size),
+            dirty: false,
             in_count: 0,
             out_count: 0,
             state: FrameState::Free,
@@ -58,10 +64,22 @@ impl Frame {
         }
     }
 
-    /// Detaches the page storage (leaving an empty slice behind) so it
-    /// can be recycled when the owning `PhysMem` is dropped.
-    pub(crate) fn take_storage(&mut self) -> Box<[u8]> {
-        core::mem::take(&mut self.data)
+    /// Detaches the page storage (leaving an empty slice behind) and
+    /// reports whether it may hold nonzero bytes, so the recycling
+    /// pool knows whether a scrub is needed.
+    pub(crate) fn take_storage(&mut self) -> (Box<[u8]>, bool) {
+        let dirty = self.dirty;
+        self.dirty = false;
+        (core::mem::take(&mut self.data), dirty)
+    }
+
+    /// Zero-fills the page, skipping the write when it is already
+    /// known to be all-zero.
+    pub(crate) fn zero(&mut self) {
+        if self.dirty {
+            self.data.fill(0);
+            self.dirty = false;
+        }
     }
 
     /// Frame contents.
@@ -69,8 +87,9 @@ impl Frame {
         &self.data
     }
 
-    /// Mutable frame contents.
+    /// Mutable frame contents (conservatively marks the page dirty).
     pub fn data_mut(&mut self) -> &mut [u8] {
+        self.dirty = true;
         &mut self.data
     }
 
@@ -158,5 +177,21 @@ mod tests {
     fn drop_below_zero_is_an_error() {
         let mut f = Frame::new(4096);
         assert!(f.drop_ref(IoDir::Output).is_err());
+    }
+
+    #[test]
+    fn dirty_tracks_writes_and_zeroing() {
+        let mut f = Frame::new(4096);
+        f.data_mut()[0] = 0xEE;
+        f.zero();
+        assert!(f.data().iter().all(|&b| b == 0));
+        let (page, dirty) = f.take_storage();
+        assert!(!dirty, "zeroed frame must hand back clean storage");
+        assert!(page.iter().all(|&b| b == 0));
+
+        let mut f = Frame::new(4096);
+        f.data_mut()[7] = 1;
+        let (_, dirty) = f.take_storage();
+        assert!(dirty, "written frame must hand back dirty storage");
     }
 }

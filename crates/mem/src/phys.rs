@@ -26,7 +26,8 @@ impl Drop for PhysMem {
     /// experiment cell's world) reuses it instead of re-allocating.
     fn drop(&mut self) {
         for f in &mut self.frames {
-            crate::pool::recycle(f.take_storage());
+            let (page, dirty) = f.take_storage();
+            crate::pool::recycle(page, dirty);
         }
     }
 }
@@ -102,10 +103,11 @@ impl PhysMem {
         Ok(id)
     }
 
-    /// Allocates a frame and zero-fills it.
+    /// Allocates a frame and zero-fills it (a no-op write when the
+    /// frame was never dirtied).
     pub fn alloc_zeroed(&mut self, owner: Option<u64>) -> Result<FrameId, MemError> {
         let id = self.alloc(owner)?;
-        self.frames[id.0 as usize].data_mut().fill(0);
+        self.frames[id.0 as usize].zero();
         Ok(id)
     }
 

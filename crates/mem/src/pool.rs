@@ -27,12 +27,16 @@ thread_local! {
 
 /// Takes a zero-filled page of `page_size` bytes, reusing recycled
 /// storage when available.
+///
+/// Pool invariant: every stored page is all-zero ([`recycle`] scrubs
+/// dirty pages on the way in), so no fill is needed here. Most frames
+/// of a world are never written, which makes recycling them free.
 pub(crate) fn take_zeroed(page_size: usize) -> Box<[u8]> {
     POOL.with(|p| {
         let mut pool = p.borrow_mut();
         if let Some((_, stash)) = pool.iter_mut().find(|(s, _)| *s == page_size) {
-            if let Some(mut page) = stash.pop() {
-                page.fill(0);
+            if let Some(page) = stash.pop() {
+                debug_assert!(page.iter().all(|&b| b == 0), "pooled page not zero");
                 return page;
             }
         }
@@ -41,23 +45,30 @@ pub(crate) fn take_zeroed(page_size: usize) -> Box<[u8]> {
 }
 
 /// Returns page storage to the pool (dropped on the floor once the
-/// per-size cap is reached).
-pub(crate) fn recycle(page: Box<[u8]>) {
+/// per-size cap is reached). `dirty` is the owning frame's write
+/// tracking: pages that may hold data are scrubbed before storage so
+/// the pool only ever holds zero pages, and clean pages skip the
+/// scrub entirely.
+pub(crate) fn recycle(page: Box<[u8]>, dirty: bool) {
     if page.is_empty() {
         return;
     }
     POOL.with(|p| {
         let mut pool = p.borrow_mut();
-        match pool.iter_mut().find(|(s, _)| *s == page.len()) {
-            Some((_, stash)) => {
-                if stash.len() < MAX_POOLED_PAGES {
-                    stash.push(page);
-                }
-            }
+        let stash = match pool.iter_mut().find(|(s, _)| *s == page.len()) {
+            Some((_, stash)) => stash,
             None => {
                 let size = page.len();
-                pool.push((size, vec![page]));
+                pool.push((size, Vec::new()));
+                &mut pool.last_mut().expect("just pushed").1
             }
+        };
+        if stash.len() < MAX_POOLED_PAGES {
+            let mut page = page;
+            if dirty {
+                page.fill(0);
+            }
+            stash.push(page);
         }
     })
 }
@@ -70,18 +81,26 @@ mod tests {
     fn recycled_page_comes_back_zeroed() {
         let mut page = take_zeroed(1024);
         page.fill(0xAB);
-        recycle(page);
+        recycle(page, true);
         let again = take_zeroed(1024);
         assert_eq!(again.len(), 1024);
         assert!(again.iter().all(|&b| b == 0), "recycled page not scrubbed");
     }
 
     #[test]
+    fn clean_recycling_round_trips_zero_pages() {
+        let page = take_zeroed(1024);
+        recycle(page, false);
+        let again = take_zeroed(1024);
+        assert!(again.iter().all(|&b| b == 0));
+    }
+
+    #[test]
     fn sizes_are_kept_apart() {
         let a = take_zeroed(512);
         let b = take_zeroed(2048);
-        recycle(a);
-        recycle(b);
+        recycle(a, false);
+        recycle(b, false);
         assert_eq!(take_zeroed(512).len(), 512);
         assert_eq!(take_zeroed(2048).len(), 2048);
     }

@@ -20,6 +20,7 @@ use std::collections::{BTreeMap, VecDeque};
 use genie_mem::{FrameId, MemError, PhysMem};
 use genie_vm::IoVec;
 
+use crate::aal5::WirePdu;
 use crate::credit::CreditState;
 
 /// Virtual-circuit identifier.
@@ -105,7 +106,12 @@ pub struct Adapter {
     mode: InputBuffering,
     posted: BTreeMap<Vc, VecDeque<PostedRx>>,
     pool: VecDeque<FrameId>,
-    outboard: Vec<Option<Vec<u8>>>,
+    /// Outboard adapter memory: each slot holds a stored wire PDU
+    /// (contiguous payload plus cell metadata), not loose bytes.
+    outboard: Vec<Option<WirePdu>>,
+    /// Recycled outboard storage, so steady-state store/free cycles
+    /// reuse one allocation per slot instead of allocating per PDU.
+    spare_outboard: Vec<Vec<u8>>,
     credits: BTreeMap<Vc, CreditState>,
     credit_limit: u32,
     drops: u64,
@@ -121,6 +127,7 @@ impl Adapter {
             posted: BTreeMap::new(),
             pool: VecDeque::new(),
             outboard: Vec::new(),
+            spare_outboard: Vec::new(),
             credits: BTreeMap::new(),
             credit_limit,
             drops: 0,
@@ -269,16 +276,18 @@ impl Adapter {
             }
             InputBuffering::Pooled => self.receive_pooled(phys, payload),
             InputBuffering::Outboard => {
-                let buf = self.outboard.iter().position(Option::is_none);
-                let data = payload.to_vec();
-                let len = data.len();
-                let idx = match buf {
+                let len = payload.len();
+                let mut data = self.spare_outboard.pop().unwrap_or_default();
+                data.clear();
+                data.extend_from_slice(payload);
+                let pdu = WirePdu::new(vc.0, data);
+                let idx = match self.outboard.iter().position(Option::is_none) {
                     Some(i) => {
-                        self.outboard[i] = Some(data);
+                        self.outboard[i] = Some(pdu);
                         i
                     }
                     None => {
-                        self.outboard.push(Some(data));
+                        self.outboard.push(Some(pdu));
                         self.outboard.len() - 1
                     }
                 };
@@ -318,14 +327,30 @@ impl Adapter {
 
     // ----- outboard memory -----------------------------------------------------
 
-    /// Reads an outboard buffer.
+    /// Reads an outboard buffer's payload bytes.
     pub fn outboard_data(&self, buf: usize) -> Option<&[u8]> {
-        self.outboard.get(buf)?.as_deref()
+        Some(self.outboard.get(buf)?.as_ref()?.payload())
     }
 
-    /// Frees an outboard buffer.
-    pub fn outboard_free(&mut self, buf: usize) -> Option<Vec<u8>> {
+    /// The stored wire PDU in an outboard buffer.
+    pub fn outboard_pdu(&self, buf: usize) -> Option<&WirePdu> {
+        self.outboard.get(buf)?.as_ref()
+    }
+
+    /// Frees an outboard buffer, handing its PDU to the caller.
+    pub fn outboard_free(&mut self, buf: usize) -> Option<WirePdu> {
         self.outboard.get_mut(buf)?.take()
+    }
+
+    /// Frees an outboard buffer and recycles its storage in place, for
+    /// callers that don't need the bytes. Steady-state outboard
+    /// traffic then allocates nothing per PDU.
+    pub fn outboard_release(&mut self, buf: usize) {
+        if let Some(pdu) = self.outboard.get_mut(buf).and_then(Option::take) {
+            if self.spare_outboard.len() < 32 {
+                self.spare_outboard.push(pdu.into_payload());
+            }
+        }
     }
 
     /// Outboard buffers currently held.
@@ -440,12 +465,36 @@ mod tests {
         assert_eq!(len, 16);
         assert_eq!(a.outboard_data(buf).unwrap(), b"outboard payload");
         assert_eq!(a.outboard_in_use(), 1);
-        let data = a.outboard_free(buf).unwrap();
-        assert_eq!(data, b"outboard payload");
+        let pdu = a.outboard_free(buf).unwrap();
+        assert_eq!(pdu.payload(), b"outboard payload");
+        assert_eq!(pdu.n_cells(), 1);
         assert_eq!(a.outboard_in_use(), 0);
         // Slot is reused.
         let c2 = a.receive(&mut p, Vc(0), b"again").unwrap();
         assert_eq!(c2, RxCompletion::Outboard { buf, len: 5 });
+    }
+
+    #[test]
+    fn outboard_release_recycles_storage() {
+        let mut p = phys();
+        let mut a = Adapter::new(InputBuffering::Outboard, 256);
+        let RxCompletion::Outboard { buf, .. } = a.receive(&mut p, Vc(3), b"first").unwrap() else {
+            panic!("expected outboard");
+        };
+        a.outboard_release(buf);
+        assert_eq!(a.outboard_in_use(), 0);
+        // The slot and its storage are both reused; the new PDU keeps
+        // its own vc and cell metadata.
+        let RxCompletion::Outboard { buf: buf2, len } =
+            a.receive(&mut p, Vc(4), b"second payload").unwrap()
+        else {
+            panic!("expected outboard");
+        };
+        assert_eq!(buf2, buf);
+        assert_eq!(len, 14);
+        let pdu = a.outboard_pdu(buf2).unwrap();
+        assert_eq!(pdu.vc(), 4);
+        assert_eq!(pdu.payload(), b"second payload");
     }
 
     #[test]

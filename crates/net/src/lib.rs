@@ -30,7 +30,7 @@ pub mod dma;
 pub mod event;
 pub mod proto;
 
-pub use aal5::{reassemble, reassemble_into, segment, segment_into, Cell};
+pub use aal5::{reassemble, reassemble_into, segment, segment_into, Aal5Trailer, Cell, WirePdu};
 pub use adapter::{Adapter, AdapterStats, InputBuffering, PostedRx, RxCompletion, Vc};
 pub use credit::CreditState;
 pub use dma::DmaModel;

@@ -37,4 +37,29 @@ grep -q '"emulated copy"' "$tmp_metrics"
 grep -q '"ph":"X"' "$tmp_trace"
 grep -q '"process_name"' "$tmp_trace"
 
+echo "== datapath microbench smoke =="
+tmp_bench=$(mktemp)
+trap 'rm -f "$tmp_serial" "$tmp_par" "$tmp_metrics" "$tmp_trace" "$tmp_bench"' EXIT
+./target/release/datapath --quick --out "$tmp_bench" >/dev/null
+grep -q '"datapath_ns"' "$tmp_bench"
+grep -q '"crc32_60k"' "$tmp_bench"
+
+echo "== simulated-latency golden guard (report --json vs committed golden) =="
+# Host-performance work must never move a simulated number: the
+# fault_stats and simulated-latency sections regenerated now have to
+# match the committed golden exactly (wall-clock fields are excluded —
+# they vary by machine, which is why BENCH_report.json itself is not
+# committed).
+tmp_json_dir=$(mktemp -d)
+trap 'rm -f "$tmp_serial" "$tmp_par" "$tmp_metrics" "$tmp_trace" "$tmp_bench"; rm -rf "$tmp_json_dir"' EXIT
+(cd "$tmp_json_dir" && "$OLDPWD/target/release/report" --json all --threads 1 >/dev/null 2>&1)
+for section in fault_stats simulated_latency_60kb_us; do
+  sed -n "/\"$section\"/,/}/p" "$tmp_json_dir/BENCH_report.json" >"$tmp_json_dir/got"
+  sed -n "/\"$section\"/,/}/p" scripts/golden_simulated.json >"$tmp_json_dir/want"
+  cmp "$tmp_json_dir/got" "$tmp_json_dir/want" || {
+    echo "verify: $section drifted from scripts/golden_simulated.json" >&2
+    exit 1
+  }
+done
+
 echo "verify: all checks passed"
