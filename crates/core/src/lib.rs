@@ -76,6 +76,7 @@ pub use genie_trace::metrics::{Histogram, Metric, MetricsRegistry};
 pub use genie_trace::{TraceEvent, TraceSet, Tracer, Track};
 pub use host::Host;
 pub use input::{InputRequest, RecvCompletion};
+pub use observe::{ObservableState, RegionObservation};
 pub use output::{OutputRequest, SendCompletion};
 pub use semantics::{Allocation, Integrity, Semantics};
 pub use world::{HostId, World, WorldConfig};

@@ -9,10 +9,48 @@
 //! same bytes at any host thread count.
 
 use genie_machine::Op;
+use genie_mem::Fnv64;
 use genie_trace::metrics::MetricsRegistry;
 use genie_trace::TraceSet;
+use genie_vm::{PagePeek, RegionMark, SpaceId};
 
 use crate::world::{HostId, World};
+
+/// One region of one address space, as an application could observe
+/// it: geometry, move-state mark, and a digest of the bytes every page
+/// would yield if touched (or markers for zero-fill / denied pages).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionObservation {
+    /// Owning address space.
+    pub space: SpaceId,
+    /// First virtual page number.
+    pub start_vpn: u64,
+    /// Length in pages.
+    pub npages: u64,
+    /// The region's move-state mark.
+    pub mark: RegionMark,
+    /// FNV-1a digest of the region's observable page contents.
+    pub digest: u64,
+}
+
+/// The externally observable memory state of one host: every region of
+/// every process, with content digests, plus one combined digest.
+///
+/// Extraction is *cheap* and *side-effect free*: frame bytes are
+/// hashed in place via [`genie_vm::Vm::peek_page`] — nothing is
+/// cloned, faulted in, or allocated per page, and the world's pooled
+/// payload buffers are never touched. That keeps the PR-4 zero-copy
+/// fast path untouched (the datapath never calls this) and makes the
+/// digest safe to take after every step of a differential run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObservableState {
+    /// Which host this snapshot describes.
+    pub host: HostId,
+    /// Per-region observations, ordered by (space, start_vpn).
+    pub regions: Vec<RegionObservation>,
+    /// Digest of the whole host state (all regions, in order).
+    pub digest: u64,
+}
 
 impl World {
     /// Enables (or disables) structured tracing on both hosts and the
@@ -130,6 +168,126 @@ impl World {
         }
         r
     }
+
+    /// The bytes an application read of `[vaddr, vaddr + len)` in
+    /// `space` would observe, without side effects (no faults are
+    /// taken, no pages materialize, no costs are charged). `None`
+    /// means the access would fault unrecoverably — e.g. the buffer
+    /// was moved out or its region removed.
+    ///
+    /// This is the probe primitive of the model-differential harness.
+    pub fn peek_app(
+        &self,
+        host: HostId,
+        space: SpaceId,
+        vaddr: u64,
+        len: usize,
+    ) -> Option<Vec<u8>> {
+        self.host(host).vm.peek(space, vaddr, len)
+    }
+
+    /// Extracts the observable memory state of `host`: one entry per
+    /// region of every process, each with a content digest, plus a
+    /// combined digest. See [`ObservableState`] for the cost contract.
+    pub fn observable_state(&self, host: HostId) -> ObservableState {
+        let h = self.host(host);
+        let mut regions = Vec::new();
+        let mut all = Fnv64::new();
+        for si in 0..h.vm.space_count() {
+            let space = SpaceId(si);
+            for r in h.vm.space(space).regions() {
+                let mut f = Fnv64::new();
+                for vpn in r.start_vpn..r.end_vpn() {
+                    match h.vm.peek_page(space, vpn) {
+                        PagePeek::Bytes(b) => {
+                            f.write_u8(1);
+                            f.write(b);
+                        }
+                        PagePeek::Zeros => f.write_u8(2),
+                        PagePeek::Denied => f.write_u8(3),
+                    }
+                }
+                let obs = RegionObservation {
+                    space,
+                    start_vpn: r.start_vpn,
+                    npages: r.npages,
+                    mark: r.mark,
+                    digest: f.finish(),
+                };
+                all.write_u64(u64::from(obs.space.0));
+                all.write_u64(obs.start_vpn);
+                all.write_u64(obs.npages);
+                all.write_u8(mark_tag(obs.mark));
+                all.write_u64(obs.digest);
+                regions.push(obs);
+            }
+        }
+        ObservableState {
+            host,
+            regions,
+            digest: all.finish(),
+        }
+    }
+
+    /// The combined observable-state digest of `host` — equivalent to
+    /// `observable_state(host).digest` but without building the
+    /// per-region vector.
+    pub fn observable_digest(&self, host: HostId) -> u64 {
+        let h = self.host(host);
+        let mut all = Fnv64::new();
+        for si in 0..h.vm.space_count() {
+            let space = SpaceId(si);
+            for r in h.vm.space(space).regions() {
+                let mut f = Fnv64::new();
+                for vpn in r.start_vpn..r.end_vpn() {
+                    match h.vm.peek_page(space, vpn) {
+                        PagePeek::Bytes(b) => {
+                            f.write_u8(1);
+                            f.write(b);
+                        }
+                        PagePeek::Zeros => f.write_u8(2),
+                        PagePeek::Denied => f.write_u8(3),
+                    }
+                }
+                all.write_u64(u64::from(space.0));
+                all.write_u64(r.start_vpn);
+                all.write_u64(r.npages);
+                all.write_u8(mark_tag(r.mark));
+                all.write_u64(f.finish());
+            }
+        }
+        all.finish()
+    }
+
+    /// Records a model-vs-simulator divergence as an instant event on
+    /// every trace track (both hosts and the link), so an exported
+    /// Perfetto trace of a failing differential run shows exactly
+    /// which step disagreed. No-op while tracing is disabled.
+    pub fn note_model_divergence(&mut self, step: usize) {
+        let now = self.now();
+        for h in &mut self.hosts {
+            if h.tracer.enabled() {
+                h.tracer
+                    .instant(genie_trace::Track::Events, "model.divergence", now, step);
+            }
+        }
+        if self.wire_tracer.enabled() {
+            self.wire_tracer
+                .instant(genie_trace::Track::Events, "model.divergence", now, step);
+        }
+    }
+}
+
+/// Stable tag for folding a region mark into a digest.
+fn mark_tag(mark: RegionMark) -> u8 {
+    match mark {
+        RegionMark::Unmovable => 0,
+        RegionMark::MovedIn => 1,
+        RegionMark::MovingOut => 2,
+        RegionMark::MovedOut => 3,
+        RegionMark::WeaklyMovedOut => 4,
+        RegionMark::MovingIn => 5,
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +312,52 @@ mod tests {
         let mut w = World::new(WorldConfig::default());
         w.host_mut(HostId::A).charge_latency(Op::Copyin, 100, 1);
         assert!(w.take_trace().is_empty());
+    }
+
+    #[test]
+    fn peek_app_matches_read_app_and_is_side_effect_free() {
+        let mut w = World::new(WorldConfig::default());
+        let space = w.create_process(HostId::A);
+        let vaddr = w.alloc_buffer(HostId::A, space, 10_000, 0).unwrap();
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        w.app_write(HostId::A, space, vaddr, &data).unwrap();
+        let before = w.observable_digest(HostId::A);
+        let peeked = w.peek_app(HostId::A, space, vaddr, data.len()).unwrap();
+        assert_eq!(peeked, data);
+        // Probing must not move any observable state.
+        assert_eq!(w.observable_digest(HostId::A), before);
+    }
+
+    #[test]
+    fn observable_state_digest_matches_streaming_digest() {
+        let mut w = World::new(WorldConfig::default());
+        let space = w.create_process(HostId::A);
+        let vaddr = w.alloc_buffer(HostId::A, space, 5_000, 64).unwrap();
+        w.app_write(HostId::A, space, vaddr, b"observable").unwrap();
+        let st = w.observable_state(HostId::A);
+        assert_eq!(st.digest, w.observable_digest(HostId::A));
+        assert!(!st.regions.is_empty());
+    }
+
+    #[test]
+    fn observable_digest_tracks_content_changes() {
+        let mut w = World::new(WorldConfig::default());
+        let space = w.create_process(HostId::A);
+        let vaddr = w.alloc_buffer(HostId::A, space, 100, 0).unwrap();
+        let before = w.observable_digest(HostId::A);
+        w.app_write(HostId::A, space, vaddr, &[0xab]).unwrap();
+        assert_ne!(w.observable_digest(HostId::A), before);
+    }
+
+    #[test]
+    fn divergence_note_emits_instant_events() {
+        let mut w = World::new(WorldConfig::default());
+        w.note_model_divergence(3); // untraced: no-op
+        assert!(w.take_trace().is_empty());
+        w.enable_tracing(true);
+        w.note_model_divergence(7);
+        let t = w.take_trace();
+        assert_eq!(t.len(), 3);
     }
 
     #[test]

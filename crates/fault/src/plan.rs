@@ -87,6 +87,22 @@ impl FaultConfig {
         }
     }
 
+    /// The swarm profile restricted to *observably masked* faults:
+    /// wire damage, reordering, starvation and completion delay — all
+    /// of which the protocol machinery recovers from without any
+    /// application-visible effect. Memory pressure (which evicts
+    /// non-recoverable pages an application could still read) and
+    /// semantics degradation (which changes the reported effective
+    /// semantics) stay off. The model-differential harness uses this
+    /// profile so strict state equality holds even on faulted runs.
+    pub fn masked(seed: u64) -> Self {
+        FaultConfig {
+            pressure_per_mille: 0,
+            degrade_per_mille: 0,
+            ..FaultConfig::swarm(seed)
+        }
+    }
+
     /// True if any fault can ever fire under this config.
     pub fn active(&self) -> bool {
         self.target_cell.is_some()
@@ -333,6 +349,18 @@ mod tests {
             })
             .collect();
         assert_eq!(runs[0], runs[1]);
+    }
+
+    #[test]
+    fn masked_profile_disables_unmaskable_faults() {
+        let cfg = FaultConfig::masked(7);
+        assert!(cfg.active());
+        assert_eq!(cfg.pressure_per_mille, 0);
+        assert_eq!(cfg.degrade_per_mille, 0);
+        assert_eq!(
+            cfg.cell_loss_per_mille,
+            FaultConfig::swarm(7).cell_loss_per_mille
+        );
     }
 
     #[test]

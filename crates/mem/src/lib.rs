@@ -18,9 +18,11 @@
 
 pub mod error;
 pub mod frame;
+pub mod hash;
 pub mod phys;
 mod pool;
 
 pub use error::MemError;
 pub use frame::{Frame, FrameId, FrameState, IoDir};
+pub use hash::{fnv64, Fnv64};
 pub use phys::PhysMem;

@@ -1,0 +1,35 @@
+//! **genie-model** — an executable *reference model* of the eight
+//! data-passing semantics, plus the deterministic differential harness
+//! that checks the real simulator against it.
+//!
+//! The paper's taxonomy (*Effects of Buffering Semantics on I/O
+//! Performance*, OSDI '96) is, at its core, a contract about what an
+//! application can *observe*: which buffer bytes an output promises to
+//! deliver, when a moved-out region disappears from the address space,
+//! what a weak semantics lets the application keep reading, and how
+//! region caching revives hidden regions. [`ModelWorld`] implements
+//! exactly that contract and nothing else — no cost model, no frame
+//! pooling, no scatter/gather, no event queue. Buffers are plain
+//! `Vec<u8>`s, deliveries are FIFO, and every rule is a few lines of
+//! obviously-checkable code.
+//!
+//! The [`harness`] then generates seeded, arbitrary interleavings of
+//! application-level operations ([`ModelOp`]), runs each through both
+//! the model and the real [`genie::World`], and demands byte-equal
+//! observable state after every step. On divergence it shrinks the
+//! scenario to a minimal counterexample and emits a replayable `.ops`
+//! file — see `TESTING.md` at the workspace root.
+
+pub mod harness;
+pub mod model;
+pub mod ops;
+
+pub use harness::{
+    check, emit_counterexample, run_scenario, seed_is_faulted, shrink, Divergence, FailureReport,
+    RunStats,
+};
+pub use model::{
+    EntityKind, EntityState, ModelBug, ModelEntity, ModelEvents, ModelParams, ModelRecv,
+    ModelSendDone, ModelWorld, PostOutcome, RecvDst, ReleaseOutcome, TouchOutcome,
+};
+pub use ops::{payload, ModelOp, Scenario};

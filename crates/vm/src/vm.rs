@@ -41,6 +41,19 @@ enum PageLoc {
     Paged,
 }
 
+/// What an application access to one virtual page would observe,
+/// resolved by [`Vm::peek_page`] without side effects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PagePeek<'a> {
+    /// The page's current contents (resident frame or paged-out copy).
+    Bytes(&'a [u8]),
+    /// Never-touched page: an access would zero-fill.
+    Zeros,
+    /// Any access would fault unrecoverably (no region, or the region
+    /// is hidden / moved out / in transit).
+    Denied,
+}
+
 /// Structural counters for the VM subsystem: how often each fault
 /// path ran and how the region machinery was exercised. Purely
 /// observational — never consulted by the simulation itself.
@@ -537,6 +550,76 @@ impl Vm {
             src += chunk;
         }
         Ok(faults)
+    }
+
+    // ----- side-effect-free observation ------------------------------------------
+
+    /// Resolves the bytes an application read of page `vpn` would
+    /// observe, **without** mutating any VM state: no PTE is installed,
+    /// no page is faulted in or zero-filled, no statistic moves.
+    ///
+    /// The rules mirror [`Vm::handle_fault`] for a read access:
+    /// a readable PTE observes its frame; a missing or no-access PTE
+    /// recovers from the object chain only in a recoverable region
+    /// (unmovable or moved-in — Section 4 region hiding), observing a
+    /// resident frame, the paged-out copy, or zeros for a never-touched
+    /// page; everything else is a fault the application cannot recover
+    /// from, reported as [`PagePeek::Denied`].
+    ///
+    /// This is the probe primitive of the model-differential harness:
+    /// because it is side-effect free, probing after every operation
+    /// cannot perturb the state it is checking.
+    pub fn peek_page(&self, space: SpaceId, vpn: u64) -> PagePeek<'_> {
+        let page = self.page_size();
+        let Some(region) = self.space(space).region_covering(vpn) else {
+            return PagePeek::Denied;
+        };
+        if let Some(pte) = self.space(space).pte(vpn) {
+            if pte.read {
+                return PagePeek::Bytes(
+                    self.phys
+                        .read(pte.frame, 0, page)
+                        .expect("mapped frame exists"),
+                );
+            }
+        }
+        // No usable mapping: a real access would fault, and recovery is
+        // only attempted in unmovable or moved-in regions.
+        if !region.mark.recoverable() {
+            return PagePeek::Denied;
+        }
+        let idx = region.object_page(vpn);
+        match self.locate_page(region.object, idx) {
+            Some((_, PageLoc::Resident(f))) => {
+                PagePeek::Bytes(self.phys.read(f, 0, page).expect("resident frame exists"))
+            }
+            Some((owner, PageLoc::Paged)) => {
+                PagePeek::Bytes(self.object(owner).paged(idx).expect("paged contents exist"))
+            }
+            None => PagePeek::Zeros,
+        }
+    }
+
+    /// Side-effect-free counterpart of [`Vm::read_app`]: the bytes an
+    /// application read of `[vaddr, vaddr + len)` would observe, or
+    /// `None` if any page of the range would fault unrecoverably.
+    pub fn peek(&self, space: SpaceId, vaddr: u64, len: usize) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(len);
+        let page = self.page_size() as u64;
+        let mut addr = vaddr;
+        let end = vaddr + len as u64;
+        while addr < end {
+            let vpn = addr / page;
+            let off = (addr % page) as usize;
+            let chunk = ((page - addr % page) as usize).min((end - addr) as usize);
+            match self.peek_page(space, vpn) {
+                PagePeek::Bytes(b) => out.extend_from_slice(&b[off..off + chunk]),
+                PagePeek::Zeros => out.resize(out.len() + chunk, 0),
+                PagePeek::Denied => return None,
+            }
+            addr += chunk as u64;
+        }
+        Some(out)
     }
 
     // ----- page referencing (Section 3.1) ---------------------------------------

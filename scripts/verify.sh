@@ -20,6 +20,9 @@ cargo test --workspace -q
 echo "== fault swarm smoke (20 seeds, full semantics x architecture grid) =="
 GENIE_FAULT_SWARM_SEEDS=20 cargo test --release --test fault_swarm -q
 
+echo "== model-differential smoke (50 seeds, full semantics x architecture grid) =="
+GENIE_MODEL_SEEDS=50 cargo test --release --test model_differential -q
+
 echo "== report determinism (serial vs 4 threads) =="
 tmp_serial=$(mktemp) && tmp_par=$(mktemp)
 tmp_metrics=$(mktemp) && tmp_trace=$(mktemp)
