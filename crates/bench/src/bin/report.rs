@@ -8,6 +8,7 @@
 //!   report --metrics          # dump the canonical runs' metrics JSON
 //!   report --trace out.json   # write a Perfetto-loadable trace
 //!   report --profile all      # per-exhibit wall-clock summary
+//!   report --compare A.json B.json  # diff two --json snapshots
 //!
 //! `GENIE_TRACE=<path>` is equivalent to `--trace <path>`. With only
 //! `--metrics`/`--trace` and no exhibit names, no exhibits render.
@@ -182,6 +183,23 @@ fn print_profile(names: &[&str], samples: &[genie_runner::CellSample]) {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--compare") {
+        if args.len() < i + 3 {
+            eprintln!("--compare requires two BENCH_report.json paths");
+            std::process::exit(2);
+        }
+        let (pa, pb) = (args[i + 1].clone(), args[i + 2].clone());
+        let read = |p: &str| {
+            std::fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("--compare: cannot read {p}: {e}");
+                std::process::exit(2);
+            })
+        };
+        let a = gen::compare::parse_summary(&read(&pa));
+        let b = gen::compare::parse_summary(&read(&pb));
+        print!("{}", gen::compare::render_comparison(&pa, &a, &pb, &b));
+        return;
+    }
     let mut json = false;
     if let Some(i) = args.iter().position(|a| a == "--json") {
         args.remove(i);

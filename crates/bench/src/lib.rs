@@ -6,6 +6,7 @@
 //! (figures, Tables 6–8) or by querying the implementation's own
 //! structures (the taxonomy, the op tables, the machine specs).
 
+pub mod compare;
 pub mod inspect;
 pub mod timing;
 

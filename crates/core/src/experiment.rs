@@ -125,26 +125,42 @@ fn payload(len: usize, seed: u8) -> Vec<u8> {
 }
 
 thread_local! {
-    /// Reused payload pattern buffers: a sweep measures thousands of
-    /// points, and a fresh pattern `Vec` per measured exchange was a
-    /// visible slice of host wall-clock.
-    static PAYLOAD_POOL: std::cell::RefCell<Vec<Vec<u8>>> =
+    /// Reused payload pattern buffers, tagged with the `(len, seed)`
+    /// they hold: a sweep measures thousands of points, regenerating
+    /// the same one or two patterns per size over and over, and both
+    /// the fresh `Vec` and the per-byte pattern fill were visible
+    /// slices of host wall-clock. A tagged buffer is reused as-is on a
+    /// `(len, seed)` hit, so steady-state measurement rounds touch no
+    /// payload bytes at all.
+    static PAYLOAD_POOL: std::cell::RefCell<Vec<(usize, u8, Vec<u8>)>> =
         const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// Runs `f` over the deterministic payload pattern in a pooled buffer
-/// (same bytes as [`payload`], no per-call allocation at steady state).
+/// (same bytes as [`payload`], no per-call allocation — and on repeat
+/// calls no per-byte generation — at steady state).
 fn with_payload<R>(len: usize, seed: u8, f: impl FnOnce(&[u8]) -> R) -> R {
-    let mut buf = PAYLOAD_POOL
-        .with(|p| p.borrow_mut().pop())
-        .unwrap_or_default();
-    buf.clear();
-    buf.extend((0..len).map(|i| (i as u64).wrapping_mul(31).wrapping_add(seed as u64) as u8));
+    let (mut buf, hit) = PAYLOAD_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if let Some(i) = pool.iter().position(|&(l, s, _)| l == len && s == seed) {
+            (pool.swap_remove(i).2, true)
+        } else if pool.len() >= 8 {
+            // Pool full: recycle the storage of the oldest pattern.
+            (pool.remove(0).2, false)
+        } else {
+            (Vec::new(), false)
+        }
+    });
+    if !hit {
+        buf.clear();
+        buf.extend((0..len).map(|i| (i as u64).wrapping_mul(31).wrapping_add(seed as u64) as u8));
+    }
+    debug_assert_eq!(buf, payload(len, seed));
     let r = f(&buf);
     PAYLOAD_POOL.with(|p| {
         let mut pool = p.borrow_mut();
         if pool.len() < 8 {
-            pool.push(buf);
+            pool.push((len, seed, buf));
         }
     });
     r
@@ -168,15 +184,21 @@ pub struct SeriesContext {
 }
 
 impl SeriesContext {
-    /// Builds a context sized to measure all of `sizes` (buffers
-    /// allocated for earlier sizes stay live for the rest of the
-    /// series, so the frame budget covers their sum).
+    /// Builds a context sized to measure any one of `sizes` at a time.
+    /// Each measurement frees its application buffers when it
+    /// completes (and the system-allocated semantics recycle regions
+    /// through the region cache), so the frame budget only has to
+    /// cover the largest single point — with generous headroom — not
+    /// the whole series. Small worlds matter twice over: building one
+    /// touches less memory, and a compact live frame set keeps the
+    /// per-exchange data copies cache-warm.
     pub fn new(setup: &ExperimentSetup, sizes: &[usize]) -> Self {
         let mut cfg = setup.world_config();
         cfg.frames_per_host += sizes
             .iter()
-            .map(|&b| 4 * (b / cfg.machine_a.page_size + 2))
-            .sum::<usize>();
+            .map(|&b| 8 * (b / cfg.machine_a.page_size + 2))
+            .max()
+            .unwrap_or(0);
         let mut w = World::new(cfg);
         let tx = w.create_process(HostId::A);
         let rx = w.create_process(HostId::B);
@@ -214,7 +236,27 @@ impl SeriesContext {
                 )
             })?;
         }
+        self.free_app_bufs(app_bufs);
         Ok(last)
+    }
+
+    /// Returns a completed measurement's application buffers to the
+    /// world. Purely host-side (no simulated charge), but essential
+    /// for wall-clock: without it every measured point leaks one
+    /// (send, receive) buffer pair, the world's live frame set grows
+    /// for the whole series, and every data copy runs against
+    /// cache-cold memory.
+    fn free_app_bufs(&mut self, app_bufs: Option<(u64, u64)>) {
+        if let Some((src, dst)) = app_bufs {
+            self.w
+                .host_mut(HostId::A)
+                .free_buffer(self.tx, src)
+                .expect("free send buffer");
+            self.w
+                .host_mut(HostId::B)
+                .free_buffer(self.rx, dst)
+                .expect("free receive buffer");
+        }
     }
 
     /// Like [`SeriesContext::measure_latency`], but traces the
@@ -261,6 +303,7 @@ impl SeriesContext {
         let trace = self.w.take_trace();
         let metrics = self.w.metrics();
         self.w.enable_tracing(false);
+        self.free_app_bufs(app_bufs);
         Ok((latency, trace, metrics))
     }
 
@@ -302,6 +345,7 @@ impl SeriesContext {
             ledger.record_samples(false);
             ledger.clear_samples();
         }
+        self.free_app_bufs(app_bufs);
         Ok((latency, samples))
     }
 }
@@ -321,6 +365,11 @@ pub fn measure_latency(
 /// Sizes are split into contiguous chunks, one per worker thread; each
 /// chunk reuses a single [`SeriesContext`]. Results come back in size
 /// order regardless of thread count.
+///
+/// Sweeps are memoized on `(setup, semantics, sizes)`: several
+/// exhibits fit or re-plot the very same deterministic points (the
+/// Figure 3/6/7 sweeps are also Table 7's "A" lines), and a full
+/// report run should simulate each distinct sweep once.
 pub fn latency_sweep(
     setup: &ExperimentSetup,
     semantics: Semantics,
@@ -329,6 +378,23 @@ pub fn latency_sweep(
     if sizes.is_empty() {
         return Vec::new();
     }
+    static CACHE: std::sync::Mutex<Vec<(String, Vec<ExperimentPoint>)>> =
+        std::sync::Mutex::new(Vec::new());
+    let key = format!("{setup:?}|{semantics:?}|{sizes:?}");
+    if let Some((_, pts)) = CACHE.lock().unwrap().iter().find(|(k, _)| *k == key) {
+        return pts.clone();
+    }
+    let pts = latency_sweep_uncached(setup, semantics, sizes);
+    CACHE.lock().unwrap().push((key, pts.clone()));
+    pts
+}
+
+/// The uncached sweep behind [`latency_sweep`].
+fn latency_sweep_uncached(
+    setup: &ExperimentSetup,
+    semantics: Semantics,
+    sizes: &[usize],
+) -> Vec<ExperimentPoint> {
     let threads = genie_runner::configured_threads().clamp(1, sizes.len());
     let chunks: Vec<&[usize]> = sizes.chunks(sizes.len().div_ceil(threads)).collect();
     genie_runner::map(&chunks, |chunk| {
@@ -483,8 +549,13 @@ fn one_exchange_between(
     let _ = w.take_completed_outputs();
     assert_eq!(done.len(), 1);
     let c = done[0];
-    let got = w.read_app(to, rx_space, c.vaddr, c.len)?;
-    assert_eq!(got, data, "corrupted delivery under {semantics}");
+    assert_eq!(c.len, data.len(), "short delivery under {semantics}");
+    if !w.app_matches(to, rx_space, c.vaddr, data)? {
+        // Materialize the received bytes only on the failure path,
+        // where the diff in the panic message is worth the copy.
+        let got = w.read_app(to, rx_space, c.vaddr, c.len)?;
+        assert_eq!(got, data, "corrupted delivery under {semantics}");
+    }
     if let Some(region) = c.region {
         w.release_input_region(to, region, semantics)?;
     }

@@ -112,6 +112,17 @@ impl Host {
         Ok(h.start_vpn * page as u64 + page_off as u64)
     }
 
+    /// Frees an application buffer allocated by [`Host::alloc_buffer`],
+    /// returning its region (and any frames faulted into it) to the
+    /// system. Host-side bookkeeping only: no simulated time is
+    /// charged, so experiment drivers can release measured buffers
+    /// between points without perturbing the measurement.
+    pub fn free_buffer(&mut self, space: SpaceId, vaddr: u64) -> Result<(), GenieError> {
+        let handle = self.vm.region_at(space, vaddr)?;
+        self.vm.remove_region(handle)?;
+        Ok(())
+    }
+
     /// Allocates a system-allocated (moved-in) I/O buffer region of at
     /// least `len` bytes, as the system-allocated API's explicit buffer
     /// allocation call. Returns the region handle and data address.

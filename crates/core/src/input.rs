@@ -9,7 +9,7 @@
 //! outboard buffering the ready-stage operations land on the critical
 //! path too (paper Section 8).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use genie_machine::{Op, SimTime};
 use genie_mem::{FrameId, IoDir};
@@ -156,14 +156,16 @@ impl World {
         }
 
         // Unsolicited data already waiting? Complete right away.
-        let key = (to.idx(), req.vc.0);
-        if let Some(q) = self.backlog.get_mut(&key) {
+        let vc = u64::from(req.vc.0);
+        if let Some(q) = self.backlog[to.idx()].get_mut(vc) {
             if let Some(pdu) = q.pop_front() {
                 self.complete_backlogged(to, pending, pdu);
                 return Ok(token);
             }
         }
-        self.recvs.entry(key).or_default().push_back(pending);
+        self.recvs[to.idx()]
+            .get_or_insert_with(vc, VecDeque::new)
+            .push_back(pending);
         Ok(token)
     }
 
@@ -280,9 +282,8 @@ impl World {
         self.hosts[to.peer().idx()]
             .adapter
             .return_credits(vc, cells as u32);
-        if let Some(&front) = self
-            .txq
-            .get(&(to.peer().idx(), vc.0))
+        if let Some(&front) = self.txq[to.peer().idx()]
+            .get(u64::from(vc.0))
             .and_then(VecDeque::front)
         {
             // A credit-return message crosses the wire back.
@@ -301,16 +302,14 @@ impl World {
         // on this VC has been delivered, discarding stale arrivals.
         let header = DatagramHeader::decode(pdu.payload()).expect("header fits");
         let seq = header.seq;
-        let key = (to.idx(), vc.0);
-        let next = *self.fault.rx_next_seq.get(&key).unwrap_or(&0);
+        let next = self.fault.next_seq(to.idx(), vc);
         let already_held = self
             .fault
-            .rx_held
-            .get(&key)
-            .is_some_and(|m| m.contains_key(&seq));
+            .hold_queue(to.idx(), vc)
+            .is_some_and(|q| q.contains(seq));
         if seq < next || already_held {
             self.fault.stats.duplicates_discarded += 1;
-            if let Some(inf) = self.fault.inflight.remove(&token) {
+            if let Some(inf) = self.clear_inflight(token) {
                 self.recycle_payload(inf.bytes);
             }
             self.recycle_pdu(pdu);
@@ -328,7 +327,10 @@ impl World {
                 );
             }
         }
-        self.fault.rx_held.entry(key).or_default().insert(
+        // One table reach: the queue handle the PDU is inserted into
+        // also reports the resulting depth (no second lookup).
+        let q = self.fault.hold_queue_mut(to.idx(), vc);
+        q.insert(
             seq,
             crate::faults::HeldPdu {
                 token,
@@ -337,7 +339,7 @@ impl World {
                 tries: 0,
             },
         );
-        let depth = self.fault.rx_held.get(&key).map_or(0, BTreeMap::len);
+        let depth = q.len();
         self.fault.hold_depth.record(depth as u64);
         self.drain_in_order(time, to, vc);
     }
@@ -353,8 +355,9 @@ impl World {
         sent_at: SimTime,
     ) -> bool {
         let header = DatagramHeader::decode(payload).expect("header fits");
-        let key = (to.idx(), vc.0);
-        let pending = self.recvs.get_mut(&key).and_then(VecDeque::pop_front);
+        let pending = self.recvs[to.idx()]
+            .get_mut(u64::from(vc.0))
+            .and_then(VecDeque::pop_front);
         let ready_start = self.host(to).clock;
 
         match pending {
@@ -367,7 +370,10 @@ impl World {
                 None => {
                     // Dropped for lack of buffering: repost the
                     // pending input for the next PDU.
-                    self.recvs.get_mut(&key).expect("entry").push_front(p);
+                    self.recvs[to.idx()]
+                        .get_mut(u64::from(vc.0))
+                        .expect("entry")
+                        .push_front(p);
                     false
                 }
             },
@@ -377,9 +383,8 @@ impl World {
                 match self.place_unsolicited(to, vc, payload) {
                     Some(placed) => {
                         self.trace_ready_span(to, ready_start, payload.len());
-                        self.backlog
-                            .entry(key)
-                            .or_default()
+                        self.backlog[to.idx()]
+                            .get_or_insert_with(u64::from(vc.0), VecDeque::new)
                             .push_back(BackloggedPdu { placed, sent_at });
                         true
                     }
@@ -544,12 +549,35 @@ impl World {
         self.dispose_input(to, p, pdu.placed, header, pdu.sent_at);
     }
 
-    /// Reads the PDU bytes (header included) out of overlay frames
-    /// into a caller-provided (normally pooled) buffer.
-    fn overlay_pdu_into(&self, to: HostId, frames: &[(FrameId, usize)], out: &mut Vec<u8>) {
+    /// Copies an overlay-held PDU's data bytes (past the wire header)
+    /// straight into the application buffer at `vaddr`: the fused
+    /// equivalent of materializing the PDU into a pooled buffer and
+    /// `write_app`ing the data slice, minus the intermediate buffer.
+    fn overlay_copyout(
+        &mut self,
+        to: HostId,
+        frames: &[(FrameId, usize)],
+        space: genie_vm::SpaceId,
+        vaddr: u64,
+        data_len: usize,
+    ) {
+        let mut skip = HEADER_LEN;
+        let mut remaining = data_len;
+        let mut srcs = Vec::with_capacity(frames.len());
         for &(f, n) in frames {
-            out.extend_from_slice(self.host(to).vm.phys.read(f, 0, n).expect("overlay"));
+            let o = skip.min(n);
+            let take = (n - o).min(remaining);
+            if take > 0 {
+                srcs.push((f, o, take));
+                remaining -= take;
+            }
+            skip -= o;
         }
+        debug_assert_eq!(remaining, 0, "overlay frames shorter than the PDU");
+        self.host_mut(to)
+            .vm
+            .copy_iovecs_into_app(space, vaddr, &srcs)
+            .expect("copyout");
     }
 
     /// Dispose stage: Table 3 (early demux), Table 4 (pooled) or
@@ -715,20 +743,21 @@ impl World {
         match p.semantics {
             Semantics::Copy => {
                 let (vaddr, _len) = p.app.expect("app buffer");
-                let mut data = self.take_payload_buf();
                 let host = self.host_mut(to);
                 let pages = host
                     .machine()
                     .pages_spanned((vaddr % page as u64) as usize, data_len);
                 host.charge_latency(Op::Copyout, data_len, pages);
-                for (i, &f) in frames.iter().enumerate() {
-                    let n = (data_len - i * page).min(page);
-                    data.extend_from_slice(host.vm.phys.read(f, 0, n).expect("sys frame"));
-                }
-                host.vm.write_app(p.space, vaddr, &data).expect("copyout");
+                let srcs: Vec<(FrameId, usize, usize)> = frames
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &f)| (f, 0, (data_len - i * page).min(page)))
+                    .collect();
+                host.vm
+                    .copy_iovecs_into_app(p.space, vaddr, &srcs)
+                    .expect("copyout");
                 host.charge_latency(Op::SysBufDeallocate, 0, 0);
                 host.free_kernel_frames(frames);
-                self.recycle_payload(data);
                 (vaddr, None)
             }
             Semantics::Move => {
@@ -821,14 +850,14 @@ impl World {
             match plan.action {
                 PageAction::CopyOut => {
                     let host = self.host_mut(to);
-                    let data = host
-                        .vm
-                        .phys
-                        .read(sys_frame, plan.data_start, plan.data_len)
-                        .expect("sys page")
-                        .to_vec();
                     let dst = vpn * page as u64 + plan.data_start as u64;
-                    host.vm.write_app(space, dst, &data).expect("copy out");
+                    host.vm
+                        .copy_iovecs_into_app(
+                            space,
+                            dst,
+                            &[(sys_frame, plan.data_start, plan.data_len)],
+                        )
+                        .expect("copy out");
                     copied_bytes += plan.data_len;
                 }
                 PageAction::FillAndSwap {
@@ -902,17 +931,12 @@ impl World {
         let result = match p.semantics {
             Semantics::Copy => {
                 let (vaddr, _len) = p.app.expect("app buffer");
-                let mut pdu = self.take_payload_buf();
-                self.overlay_pdu_into(to, &frames, &mut pdu);
                 let host = self.host_mut(to);
                 let pages = host
                     .machine()
                     .pages_spanned((vaddr % page as u64) as usize, data_len);
                 host.charge_latency(Op::Copyout, data_len, pages);
-                host.vm
-                    .write_app(p.space, vaddr, &pdu[HEADER_LEN..HEADER_LEN + data_len])
-                    .expect("copyout");
-                self.recycle_payload(pdu);
+                self.overlay_copyout(to, &frames, p.space, vaddr, data_len);
                 self.return_overlay_frames(to, overlay_frames, total, overlay_pages);
                 (vaddr, None)
             }
@@ -959,14 +983,9 @@ impl World {
                         .collect();
                     self.return_overlay_frames(to, leftover, total, overlay_pages);
                 } else {
-                    let mut pdu = self.take_payload_buf();
-                    self.overlay_pdu_into(to, &frames, &mut pdu);
-                    let host = self.host_mut(to);
-                    host.charge_latency(Op::Copyout, data_len, pages);
-                    host.vm
-                        .write_app(p.space, vaddr, &pdu[HEADER_LEN..HEADER_LEN + data_len])
-                        .expect("copyout");
-                    self.recycle_payload(pdu);
+                    self.host_mut(to)
+                        .charge_latency(Op::Copyout, data_len, pages);
+                    self.overlay_copyout(to, &frames, p.space, vaddr, data_len);
                     self.return_overlay_frames(to, overlay_frames, total, overlay_pages);
                 }
                 (vaddr, None)

@@ -90,7 +90,6 @@ impl World {
         }
         let invoked_at = self.host(from).clock;
         let effective = self.effective_output_semantics(req.semantics, req.len);
-        let token = self.take_token();
         let seq = self.next_seq(req.vc);
 
         // Fixed OS path: system call, socket/protocol layers.
@@ -141,9 +140,8 @@ impl World {
             }
         }
 
-        self.sends.insert(
-            token,
-            PendingSend {
+        let token = self.ops.insert(crate::world::OpSlot {
+            send: Some(PendingSend {
                 from,
                 vc: req.vc,
                 requested: req.semantics,
@@ -155,8 +153,9 @@ impl World {
                 len: req.len,
                 invoked_at,
                 stalls: 0,
-            },
-        );
+            }),
+            inflight: None,
+        });
         let t = self.host(from).clock;
         {
             let host = self.host_mut(from);
@@ -171,9 +170,8 @@ impl World {
                 );
             }
         }
-        self.txq
-            .entry((from.idx(), req.vc.0))
-            .or_default()
+        self.txq[from.idx()]
+            .get_or_insert_with(u64::from(req.vc.0), Default::default)
             .push_back(token);
         self.events.push(t, Event::Transmit { token });
         Ok(token)
@@ -220,12 +218,12 @@ impl World {
                 let integrated = false; // handled by caller for checksum
                 let _ = integrated;
                 host.charge_latency(Op::Copyin, req.len, pages);
-                let (data, _faults) = host.vm.read_app(req.space, req.vaddr, req.len)?;
+                host.vm
+                    .copy_app_into_frames(req.space, req.vaddr, req.len, &frames)?;
                 let mut triples = Vec::with_capacity(npages);
                 for (i, f) in frames.iter().enumerate() {
                     let off = i * page;
                     let n = (req.len - off).min(page);
-                    host.vm.phys.write(*f, 0, &data[off..off + n])?;
                     triples.push((*f, 0usize, n));
                 }
                 let desc = host.vm.reference_frames(&triples, IoDir::Output)?;
@@ -300,22 +298,25 @@ impl World {
     /// scheduled for arrival; a credit-stalled PDU blocks the head of
     /// its VC's line so delivery order is preserved.
     pub(crate) fn on_transmit(&mut self, time: SimTime, token: u64) {
-        let Some(send) = self.sends.get(&token) else {
+        let Some(send) = self.send(token) else {
             return; // already transmitted by an earlier drain
         };
-        let key = (send.from.idx(), send.vc.0);
-        while let Some(&front) = self.txq.get(&key).and_then(|q| q.front()) {
+        let (host, vc) = (send.from.idx(), u64::from(send.vc.0));
+        while let Some(&front) = self.txq[host].get(vc).and_then(|q| q.front()) {
             if !self.try_transmit_one(time, front) {
                 break;
             }
-            self.txq.get_mut(&key).expect("queue exists").pop_front();
+            self.txq[host]
+                .get_mut(vc)
+                .expect("queue exists")
+                .pop_front();
         }
     }
 
     /// Attempts to put one pending PDU on the wire; returns false on a
     /// credit stall (a retry is scheduled).
     fn try_transmit_one(&mut self, time: SimTime, token: u64) -> bool {
-        let send = self.sends.get(&token).expect("pending send");
+        let send = self.send(token).expect("pending send");
         let from = send.from;
         let vc = send.vc;
         let sent_at = send.invoked_at;
@@ -332,7 +333,7 @@ impl World {
         {
             // Out of credit: retry after a round-trip-ish delay (credit
             // returns also wake this queue directly).
-            self.sends.get_mut(&token).expect("pending send").stalls += 1;
+            self.send_mut(token).expect("pending send").stalls += 1;
             let tracer = &mut self.hosts[from.idx()].tracer;
             if tracer.enabled() {
                 tracer.instant(genie_trace::Track::Events, "credit.stall", time, cells);
@@ -344,7 +345,7 @@ impl World {
 
         let mut payload = self.take_payload_buf();
         payload.reserve(total);
-        let send = self.sends.get(&token).expect("pending send");
+        let send = self.send(token).expect("pending send");
         payload.extend_from_slice(&send.header.encode());
         Adapter::dma_gather_into(
             &self.hosts[from.idx()].vm.phys,
@@ -395,10 +396,10 @@ impl World {
         if self.fault.plan.active() {
             // The adapter keeps the wire image for retransmission until
             // the peer delivers this PDU in order.
-            if !self.fault.inflight.contains_key(&token) {
+            if !self.has_inflight(token) {
                 let mut bytes = self.take_payload_buf();
                 bytes.extend_from_slice(pdu.payload());
-                self.fault.inflight.insert(
+                self.set_inflight(
                     token,
                     crate::faults::Inflight {
                         from,
@@ -454,7 +455,7 @@ impl World {
 
     /// Transmit-DMA-complete event: Table 2 dispose-stage operations.
     pub(crate) fn on_tx_done(&mut self, time: SimTime, token: u64) {
-        let send = self.sends.remove(&token).expect("pending send");
+        let send = self.take_send(token).expect("pending send");
         let from = send.from;
         let page = self.host(from).page_size();
         let page_off = send.desc.vecs.first().map_or(0, |v| v.offset % page);

@@ -9,14 +9,16 @@
 //! latency; and ready/dispose operations at the receiver run at
 //! arrival.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use genie_machine::{LinkSpec, MachineSpec, Op, SimTime};
+use genie_mem::{DenseMap, SlotMap};
 use genie_net::{DmaModel, EventQueue, InputBuffering, Vc, WirePdu};
 use genie_vm::SpaceId;
 
 use crate::config::GenieConfig;
 use crate::error::GenieError;
+use crate::faults::Inflight;
 use crate::host::Host;
 use crate::input::{PendingRecv, RecvCompletion};
 use crate::output::{PendingSend, SendCompletion};
@@ -143,6 +145,23 @@ pub(crate) struct BackloggedPdu {
     pub sent_at: SimTime,
 }
 
+/// One output operation's arena slot: the pending send (alive until
+/// the dispose stage) and, under an active fault plan, the adapter's
+/// retransmit buffer (alive until in-order delivery at the peer). The
+/// output token is the slot's generational key; the slot is freed only
+/// once both halves are gone, so a late event naming the token (a
+/// backed-off retransmit timer, a stale transmit wakeup) resolves to
+/// nothing instead of aliasing a reused slot.
+#[derive(Debug)]
+pub(crate) struct OpSlot {
+    pub send: Option<PendingSend>,
+    pub inflight: Option<Inflight>,
+}
+
+/// Per-host, per-VC queue tables, flat-indexed by VC number (the
+/// experiments use single-digit VCs, so the tables stay tiny).
+pub(crate) type VcQueues<T> = [DenseMap<VecDeque<T>>; 2];
+
 /// The two-host simulation world.
 #[derive(Debug)]
 pub struct World {
@@ -152,19 +171,23 @@ pub struct World {
     pub(crate) cfg: GenieConfig,
     pub(crate) rx_mode: InputBuffering,
     pub(crate) events: EventQueue<Event>,
-    pub(crate) sends: BTreeMap<u64, PendingSend>,
-    pub(crate) recvs: BTreeMap<(usize, u32), VecDeque<PendingRecv>>,
-    pub(crate) backlog: BTreeMap<(usize, u32), VecDeque<BackloggedPdu>>,
+    /// In-flight output operations; tokens are the arena's
+    /// generational keys (all `>= 1 << 32`, disjoint from the small
+    /// counter tokens input operations use).
+    pub(crate) ops: SlotMap<OpSlot>,
+    pub(crate) recvs: VcQueues<PendingRecv>,
+    pub(crate) backlog: VcQueues<BackloggedPdu>,
     pub(crate) done_recvs: Vec<RecvCompletion>,
     pub(crate) done_sends: Vec<SendCompletion>,
+    /// Token counter for input operations (outputs use arena keys).
     pub(crate) next_token: u64,
-    pub(crate) seq: BTreeMap<u32, u32>,
+    pub(crate) seq: DenseMap<u32>,
     /// Wire occupancy per direction (index by sender), serializing
     /// transmissions so pipelined streams contend for the link.
     pub(crate) link_busy_until: [SimTime; 2],
     /// Per-(sender, VC) transmit FIFO: a credit-stalled PDU blocks the
     /// head of its VC's line so delivery order is preserved.
-    pub(crate) txq: BTreeMap<(usize, u32), VecDeque<u64>>,
+    pub(crate) txq: VcQueues<u64>,
     /// Recycled PDU payload buffers: transmit gathers into one of
     /// these, arrival returns it, so steady-state traffic allocates no
     /// per-datagram payload Vec.
@@ -203,15 +226,15 @@ impl World {
             cfg: cfg.genie,
             rx_mode: cfg.rx_buffering,
             events: EventQueue::new(),
-            sends: BTreeMap::new(),
-            recvs: BTreeMap::new(),
-            backlog: BTreeMap::new(),
+            ops: SlotMap::new(),
+            recvs: [DenseMap::new(), DenseMap::new()],
+            backlog: [DenseMap::new(), DenseMap::new()],
             done_recvs: Vec::new(),
             done_sends: Vec::new(),
             next_token: 1,
-            seq: BTreeMap::new(),
+            seq: DenseMap::new(),
             link_busy_until: [SimTime::ZERO; 2],
-            txq: BTreeMap::new(),
+            txq: [DenseMap::new(), DenseMap::new()],
             spare_payloads: Vec::new(),
             scratch_cells: Vec::new(),
             force_cells: false,
@@ -339,19 +362,104 @@ impl World {
         Ok(data)
     }
 
+    /// Compares `expected` against the application's view of `vaddr`
+    /// in place — the integrity check of every measured exchange.
+    /// Fault charges match [`World::read_app`] on the matching path;
+    /// no copy of the buffer is materialized.
+    pub fn app_matches(
+        &mut self,
+        host: HostId,
+        space: SpaceId,
+        vaddr: u64,
+        expected: &[u8],
+    ) -> Result<bool, GenieError> {
+        let h = self.host_mut(host);
+        let (ok, faults) = h.vm.app_matches(space, vaddr, expected)?;
+        for _ in &faults {
+            h.charge_latency(Op::Fault, 0, 0);
+        }
+        Ok(ok)
+    }
+
     /// Next sequence number on a VC.
     pub(crate) fn next_seq(&mut self, vc: Vc) -> u32 {
-        let s = self.seq.entry(vc.0).or_insert(0);
+        let s = self.seq.get_or_insert_with(u64::from(vc.0), || 0);
         let cur = *s;
         *s += 1;
         cur
     }
 
-    /// Fresh correlation token.
+    /// Fresh correlation token for an input operation. Always below
+    /// `1 << 32`, so it can never collide with an output token.
     pub(crate) fn take_token(&mut self) -> u64 {
         let t = self.next_token;
         self.next_token += 1;
+        debug_assert!(t < 1 << 32, "input token counter ran into arena keys");
         t
+    }
+
+    /// The pending send for an output token, if it has not yet been
+    /// disposed (stale tokens resolve to `None`).
+    pub(crate) fn send(&self, token: u64) -> Option<&PendingSend> {
+        self.ops.get(token)?.send.as_ref()
+    }
+
+    /// Mutable access to the pending send for an output token.
+    pub(crate) fn send_mut(&mut self, token: u64) -> Option<&mut PendingSend> {
+        self.ops.get_mut(token)?.send.as_mut()
+    }
+
+    /// Removes the pending send at dispose time, freeing the slot
+    /// unless a retransmit buffer is still holding it open.
+    pub(crate) fn take_send(&mut self, token: u64) -> Option<PendingSend> {
+        let slot = self.ops.get_mut(token)?;
+        let send = slot.send.take();
+        if slot.inflight.is_none() {
+            self.ops.remove(token);
+        }
+        send
+    }
+
+    /// Whether an output token has a retransmit buffer attached.
+    pub(crate) fn has_inflight(&self, token: u64) -> bool {
+        self.ops.get(token).is_some_and(|s| s.inflight.is_some())
+    }
+
+    /// Mutable access to the retransmit buffer for an output token.
+    pub(crate) fn inflight_mut(&mut self, token: u64) -> Option<&mut Inflight> {
+        self.ops.get_mut(token)?.inflight.as_mut()
+    }
+
+    /// Attaches a retransmit buffer to a live output token.
+    pub(crate) fn set_inflight(&mut self, token: u64, inf: Inflight) {
+        let slot = self.ops.get_mut(token).expect("live output token");
+        debug_assert!(slot.inflight.is_none());
+        slot.inflight = Some(inf);
+    }
+
+    /// Takes the retransmit buffer out *keeping the slot alive*; the
+    /// caller must put it back with [`World::restore_inflight`]. Used
+    /// where the buffer's bytes are borrowed across `&mut self` calls.
+    pub(crate) fn borrow_inflight(&mut self, token: u64) -> Option<Inflight> {
+        self.ops.get_mut(token)?.inflight.take()
+    }
+
+    /// Puts back a buffer taken with [`World::borrow_inflight`].
+    pub(crate) fn restore_inflight(&mut self, token: u64, inf: Inflight) {
+        let slot = self.ops.get_mut(token).expect("borrowed slot stays live");
+        slot.inflight = Some(inf);
+    }
+
+    /// Drops the retransmit buffer for good (delivery or abandonment),
+    /// freeing the slot if the send half is already disposed. Returns
+    /// the buffer so the caller can recycle its storage.
+    pub(crate) fn clear_inflight(&mut self, token: u64) -> Option<Inflight> {
+        let slot = self.ops.get_mut(token)?;
+        let inf = slot.inflight.take();
+        if inf.is_some() && slot.send.is_none() {
+            self.ops.remove(token);
+        }
+        inf
     }
 
     /// Runs the event loop to quiescence.
@@ -423,9 +531,8 @@ impl World {
             InputBuffering::Outboard => (0, 1),
             InputBuffering::Pooled => pooled,
             InputBuffering::EarlyDemux => {
-                let backlogged = self
-                    .backlog
-                    .get(&(host.idx(), vc.0))
+                let backlogged = self.backlog[host.idx()]
+                    .get(u64::from(vc.0))
                     .is_some_and(|q| !q.is_empty());
                 if backlogged {
                     pooled
@@ -530,9 +637,8 @@ mod tests {
         assert_eq!(w.preferred_alignment(HostId::B, Vc(7)), (0, 1));
         // Unsolicited data on this VC sits in pooled overlay pages, so
         // a buffer posted now only swap-delivers if pool-aligned.
-        w.backlog
-            .entry((HostId::B.idx(), 7))
-            .or_default()
+        w.backlog[HostId::B.idx()]
+            .get_or_insert_with(7, VecDeque::new)
             .push_back(BackloggedPdu {
                 placed: crate::input::PlacedPayload::Outboard(0),
                 sent_at: SimTime::ZERO,

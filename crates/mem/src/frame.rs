@@ -64,6 +64,29 @@ impl Frame {
         }
     }
 
+    /// Creates a free frame with no page storage attached yet.
+    /// `PhysMem` builds its frame array out of these and attaches
+    /// storage on first allocation, so a world only pays for the
+    /// frames it actually touches — most of a world's frame budget is
+    /// headroom that stays on the free list for its whole life.
+    pub(crate) fn unbacked() -> Self {
+        Frame {
+            data: Box::default(),
+            dirty: false,
+            in_count: 0,
+            out_count: 0,
+            state: FrameState::Free,
+            owner: None,
+        }
+    }
+
+    /// Attaches zeroed page storage if the frame has none yet.
+    pub(crate) fn ensure_backed(&mut self, page_size: usize) {
+        if self.data.is_empty() {
+            self.data = crate::pool::take_zeroed(page_size);
+        }
+    }
+
     /// Detaches the page storage (leaving an empty slice behind) and
     /// reports whether it may hold nonzero bytes, so the recycling
     /// pool knows whether a scrub is needed.

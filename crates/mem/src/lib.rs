@@ -21,8 +21,10 @@ pub mod frame;
 pub mod hash;
 pub mod phys;
 mod pool;
+pub mod slot;
 
 pub use error::MemError;
 pub use frame::{Frame, FrameId, FrameState, IoDir};
 pub use hash::{fnv64, Fnv64};
 pub use phys::PhysMem;
+pub use slot::{key_gen, key_slot, slot_key, DenseMap, SlotKey, SlotMap};

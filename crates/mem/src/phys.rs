@@ -33,10 +33,13 @@ impl Drop for PhysMem {
 }
 
 impl PhysMem {
-    /// Creates `frames` frames of `page_size` bytes each.
+    /// Creates `frames` frames of `page_size` bytes each. Page
+    /// storage is attached lazily on first allocation of each frame,
+    /// so the (generous) frame budget of a world costs nothing until
+    /// used.
     pub fn new(page_size: usize, frames: usize) -> Self {
         assert!(page_size.is_power_of_two(), "page size must be 2^n");
-        let frames_vec: Vec<Frame> = (0..frames).map(|_| Frame::new(page_size)).collect();
+        let frames_vec: Vec<Frame> = (0..frames).map(|_| Frame::unbacked()).collect();
         // LIFO pop order: highest id first, matching a freshly built
         // free list.
         let free = (0..frames as u32).rev().map(FrameId).collect();
@@ -92,9 +95,11 @@ impl PhysMem {
     /// deferred deallocation guard against).
     pub fn alloc(&mut self, owner: Option<u64>) -> Result<FrameId, MemError> {
         let id = self.free.pop().ok_or(MemError::OutOfFrames)?;
+        let page_size = self.page_size;
         let f = &mut self.frames[id.0 as usize];
         debug_assert_eq!(f.state(), FrameState::Free);
         debug_assert!(!f.io_pending(), "free frame with pending I/O");
+        f.ensure_backed(page_size);
         f.set_state(FrameState::Allocated);
         f.set_owner(owner);
         self.allocs += 1;
@@ -382,12 +387,13 @@ mod tests {
             let a = m.alloc(None).unwrap();
             m.write(a, 0, b"previous world secret").unwrap();
         } // dropped: storage goes to the pool
-        let m2 = PhysMem::new(4096, 4);
-        for i in 0..4 {
-            let f = m2.frame(FrameId(i)).unwrap();
+        let mut m2 = PhysMem::new(4096, 4);
+        for _ in 0..4 {
+            let id = m2.alloc(None).unwrap();
+            let f = m2.frame(id).unwrap();
             assert!(
                 f.data().iter().all(|&b| b == 0),
-                "recycled frame pf{i} not zeroed"
+                "recycled frame {id:?} not zeroed"
             );
         }
     }

@@ -4,7 +4,7 @@
 //! sweeps build and drop hundreds of two-host worlds, so without
 //! recycling each world re-allocates (and the OS re-zeroes) tens of
 //! megabytes of page storage. Dropping a `PhysMem` instead returns its
-//! page boxes here, and the next `Frame::new` on the same thread
+//! page boxes here, and the next frame backed on the same thread
 //! reuses one — `fill(0)` on warm memory is much cheaper than faulting
 //! in fresh pages. The pool is thread-local, so parallel sweep workers
 //! never contend, and it is keyed by page size (machines differ).

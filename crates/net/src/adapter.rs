@@ -15,9 +15,9 @@
 //! DMA — which, like real DMA, is **not** subject to page-table
 //! protections; only the page-referencing discipline keeps it safe.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
-use genie_mem::{FrameId, MemError, PhysMem};
+use genie_mem::{DenseMap, FrameId, MemError, PhysMem};
 use genie_vm::IoVec;
 
 use crate::aal5::WirePdu;
@@ -104,7 +104,9 @@ pub struct AdapterStats {
 #[derive(Debug)]
 pub struct Adapter {
     mode: InputBuffering,
-    posted: BTreeMap<Vc, VecDeque<PostedRx>>,
+    /// Posted receives, flat-indexed by VC number (the experiments use
+    /// single-digit VCs, so the table stays tiny).
+    posted: DenseMap<VecDeque<PostedRx>>,
     pool: VecDeque<FrameId>,
     /// Outboard adapter memory: each slot holds a stored wire PDU
     /// (contiguous payload plus cell metadata), not loose bytes.
@@ -112,7 +114,8 @@ pub struct Adapter {
     /// Recycled outboard storage, so steady-state store/free cycles
     /// reuse one allocation per slot instead of allocating per PDU.
     spare_outboard: Vec<Vec<u8>>,
-    credits: BTreeMap<Vc, CreditState>,
+    /// Per-VC credit state, flat-indexed by VC number.
+    credits: DenseMap<CreditState>,
     credit_limit: u32,
     drops: u64,
     stats: AdapterStats,
@@ -124,11 +127,11 @@ impl Adapter {
     pub fn new(mode: InputBuffering, credit_limit: u32) -> Self {
         Adapter {
             mode,
-            posted: BTreeMap::new(),
+            posted: DenseMap::new(),
             pool: VecDeque::new(),
             outboard: Vec::new(),
             spare_outboard: Vec::new(),
-            credits: BTreeMap::new(),
+            credits: DenseMap::new(),
             credit_limit,
             drops: 0,
             stats: AdapterStats::default(),
@@ -156,8 +159,7 @@ impl Adapter {
     pub fn credits_mut(&mut self, vc: Vc) -> &mut CreditState {
         let limit = self.credit_limit;
         self.credits
-            .entry(vc)
-            .or_insert_with(|| CreditState::new(limit))
+            .get_or_insert_with(u64::from(vc.0), || CreditState::new(limit))
     }
 
     /// Attempts to reserve transmit credits for `cells` cells on `vc`.
@@ -174,18 +176,20 @@ impl Adapter {
 
     /// Posts a receive buffer on `vc`.
     pub fn post_rx(&mut self, vc: Vc, rx: PostedRx) {
-        self.posted.entry(vc).or_default().push_back(rx);
+        self.posted
+            .get_or_insert_with(u64::from(vc.0), VecDeque::new)
+            .push_back(rx);
     }
 
     /// Number of receives posted on `vc`.
     pub fn posted_count(&self, vc: Vc) -> usize {
-        self.posted.get(&vc).map_or(0, VecDeque::len)
+        self.posted.get(u64::from(vc.0)).map_or(0, VecDeque::len)
     }
 
     /// Withdraws the oldest posted receive on `vc` (e.g. when an input
     /// operation is cancelled).
     pub fn unpost_rx(&mut self, vc: Vc) -> Option<PostedRx> {
-        self.posted.get_mut(&vc)?.pop_front()
+        self.posted.get_mut(u64::from(vc.0))?.pop_front()
     }
 
     // ----- overlay pool (pooled in-host buffering) -------------------------------

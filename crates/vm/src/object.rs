@@ -10,21 +10,22 @@
 //! to its pages in current input operations** — the count behind the
 //! paper's *input-disabled COW* (Section 3.3).
 
-use std::collections::BTreeMap;
-
-use genie_mem::FrameId;
+use genie_mem::{DenseMap, FrameId};
 
 use crate::ids::ObjectId;
 
-/// A memory object: an ordered map from object page index to physical
-/// frame, plus paged-out contents and an optional shadow link.
+/// A memory object: a flat map from object page index to physical
+/// frame, plus paged-out contents and an optional shadow link. Page
+/// indices are small and dense (they index into the object's backing
+/// regions), so both tables are [`DenseMap`]s: one array load per
+/// lookup, ascending-index iteration.
 #[derive(Clone, Debug)]
 pub struct MemoryObject {
     id: ObjectId,
     /// Resident pages.
-    pages: BTreeMap<u64, FrameId>,
+    pages: DenseMap<FrameId>,
     /// Paged-out page contents (the simulated backing store).
-    paged: BTreeMap<u64, Box<[u8]>>,
+    paged: DenseMap<Box<[u8]>>,
     /// Object this one shadows for COW, if any.
     shadow: Option<ObjectId>,
     /// Pending input references to pages of this object.
@@ -38,8 +39,8 @@ impl MemoryObject {
     pub fn new(id: ObjectId) -> Self {
         MemoryObject {
             id,
-            pages: BTreeMap::new(),
-            paged: BTreeMap::new(),
+            pages: DenseMap::new(),
+            paged: DenseMap::new(),
             shadow: None,
             input_refs: 0,
             refs: 1,
@@ -53,7 +54,7 @@ impl MemoryObject {
 
     /// Resident frame for object page `idx`, if present.
     pub fn page(&self, idx: u64) -> Option<FrameId> {
-        self.pages.get(&idx).copied()
+        self.pages.get(idx).copied()
     }
 
     /// Installs (or replaces) the resident frame for page `idx`,
@@ -64,12 +65,12 @@ impl MemoryObject {
 
     /// Removes the resident frame for page `idx`.
     pub fn take_page(&mut self, idx: u64) -> Option<FrameId> {
-        self.pages.remove(&idx)
+        self.pages.remove(idx)
     }
 
     /// Iterates over resident pages.
     pub fn pages(&self) -> impl Iterator<Item = (u64, FrameId)> + '_ {
-        self.pages.iter().map(|(&i, &f)| (i, f))
+        self.pages.iter().map(|(i, &f)| (i, f))
     }
 
     /// Number of resident pages.
@@ -79,7 +80,7 @@ impl MemoryObject {
 
     /// Paged-out contents of page `idx`, if any.
     pub fn paged(&self, idx: u64) -> Option<&[u8]> {
-        self.paged.get(&idx).map(|b| &b[..])
+        self.paged.get(idx).map(|b| &b[..])
     }
 
     /// Stores paged-out contents for page `idx`.
@@ -89,7 +90,7 @@ impl MemoryObject {
 
     /// Removes and returns paged-out contents for page `idx`.
     pub fn take_paged(&mut self, idx: u64) -> Option<Box<[u8]>> {
-        self.paged.remove(&idx)
+        self.paged.remove(idx)
     }
 
     /// The object this one shadows, if any.

@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use genie_mem::FrameId;
+use genie_mem::{DenseMap, FrameId};
 
 use crate::error::VmError;
 use crate::ids::SpaceId;
@@ -37,8 +37,10 @@ pub struct AddressSpace {
     id: SpaceId,
     /// Regions keyed by starting virtual page number.
     regions: BTreeMap<u64, Region>,
-    /// Page-table entries keyed by virtual page number.
-    ptes: BTreeMap<u64, Pte>,
+    /// Page-table entries, flat-indexed by virtual page number. Vpns
+    /// are handed out by a bump allocator from 1, so the table is
+    /// dense over the space's lifetime.
+    ptes: DenseMap<Pte>,
     /// Region cache for moved-out regions (emulated move).
     moved_out_q: VecDeque<u64>,
     /// Region cache for weakly-moved-out regions (weak move family).
@@ -54,7 +56,7 @@ impl AddressSpace {
         AddressSpace {
             id,
             regions: BTreeMap::new(),
-            ptes: BTreeMap::new(),
+            ptes: DenseMap::new(),
             moved_out_q: VecDeque::new(),
             weak_out_q: VecDeque::new(),
             next_vpn: 1,
@@ -138,7 +140,7 @@ impl AddressSpace {
 
     /// The PTE for `vpn`, if mapped.
     pub fn pte(&self, vpn: u64) -> Option<Pte> {
-        self.ptes.get(&vpn).copied()
+        self.ptes.get(vpn).copied()
     }
 
     /// Installs a PTE.
@@ -148,12 +150,12 @@ impl AddressSpace {
 
     /// Removes the PTE for `vpn`, returning it.
     pub fn clear_pte(&mut self, vpn: u64) -> Option<Pte> {
-        self.ptes.remove(&vpn)
+        self.ptes.remove(vpn)
     }
 
     /// Updates permissions of an existing PTE; no-op if unmapped.
     pub fn set_prot(&mut self, vpn: u64, read: bool, write: bool) {
-        if let Some(p) = self.ptes.get_mut(&vpn) {
+        if let Some(p) = self.ptes.get_mut(vpn) {
             p.read = read;
             p.write = write;
         }
@@ -161,7 +163,7 @@ impl AddressSpace {
 
     /// Iterates over all PTEs (vpn, pte).
     pub fn ptes(&self) -> impl Iterator<Item = (u64, Pte)> + '_ {
-        self.ptes.iter().map(|(&v, &p)| (v, p))
+        self.ptes.iter().map(|(v, &p)| (v, p))
     }
 
     /// Enqueues a region on the appropriate cache queue for its mark.

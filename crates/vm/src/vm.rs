@@ -352,7 +352,24 @@ impl Vm {
         vpn: u64,
         access: Access,
     ) -> Result<FaultOutcome, VmError> {
-        let out = self.fault_inner(space, vpn, access)?;
+        self.handle_fault_opts(space, vpn, access, false)
+    }
+
+    /// [`Vm::handle_fault`] with a hot-path hint: `full_write` promises
+    /// the caller is about to overwrite every byte of the page before
+    /// anything can observe it, so a first-touch fault may skip the
+    /// zero-fill memset. Every outcome, statistic, and mapping is
+    /// identical to the plain fault path — the page logically passes
+    /// through the all-zero state, it just never has to be written
+    /// twice.
+    fn handle_fault_opts(
+        &mut self,
+        space: SpaceId,
+        vpn: u64,
+        access: Access,
+        full_write: bool,
+    ) -> Result<FaultOutcome, VmError> {
+        let out = self.fault_inner(space, vpn, access, full_write)?;
         self.stats.faults_handled += 1;
         match out {
             FaultOutcome::TcowCopied => self.stats.tcow_copies += 1,
@@ -369,6 +386,7 @@ impl Vm {
         space: SpaceId,
         vpn: u64,
         access: Access,
+        full_write: bool,
     ) -> Result<FaultOutcome, VmError> {
         let page_size = self.page_size() as u64;
         let vaddr = vpn * page_size;
@@ -465,8 +483,13 @@ impl Vm {
             });
         }
 
-        // First touch: zero-fill.
-        let frame = self.phys.alloc_zeroed(Some(u64::from(top.0)))?;
+        // First touch: zero-fill (skipped as dead work when the
+        // faulting write covers the whole page).
+        let frame = if full_write {
+            self.phys.alloc(Some(u64::from(top.0)))?
+        } else {
+            self.phys.alloc_zeroed(Some(u64::from(top.0)))?
+        };
         self.object_mut(top).set_page(idx, frame);
         self.space_mut(space).set_pte(
             vpn,
@@ -538,7 +561,8 @@ impl Vm {
                 None => true,
             };
             if needs_fault {
-                faults.push(self.handle_fault(space, vpn, Access::Write)?);
+                let full = off == 0 && chunk == page as usize;
+                faults.push(self.handle_fault_opts(space, vpn, Access::Write, full)?);
             }
             let frame = self
                 .space(space)
@@ -550,6 +574,150 @@ impl Vm {
             src += chunk;
         }
         Ok(faults)
+    }
+
+    /// Copies `len` application bytes at `vaddr` straight into the
+    /// given kernel frames (page-sized, data starting at offset 0 —
+    /// the layout of a copy-semantics system buffer), faulting source
+    /// pages in exactly as [`Vm::read_app`] would. One fused
+    /// physical-to-physical pass per page: the intermediate `Vec` a
+    /// read-then-write copyin materializes is pure overhead on the
+    /// datapath.
+    pub fn copy_app_into_frames(
+        &mut self,
+        space: SpaceId,
+        vaddr: u64,
+        len: usize,
+        frames: &[FrameId],
+    ) -> Result<Vec<FaultOutcome>, VmError> {
+        let mut faults = Vec::new();
+        let page = self.page_size();
+        let mut addr = vaddr;
+        let end = vaddr + len as u64;
+        let mut pos = 0usize; // byte offset into the destination buffer
+        while addr < end {
+            let vpn = addr / page as u64;
+            let off = (addr % page as u64) as usize;
+            let mut chunk = (page - off).min((end - addr) as usize);
+            let needs_fault = match self.space(space).pte(vpn) {
+                Some(p) => !p.read,
+                None => true,
+            };
+            if needs_fault {
+                faults.push(self.handle_fault(space, vpn, Access::Read)?);
+            }
+            let frame = self
+                .space(space)
+                .pte(vpn)
+                .expect("mapped after fault")
+                .frame;
+            addr += chunk as u64;
+            let mut src_off = off;
+            while chunk > 0 {
+                let n = chunk.min(page - pos % page);
+                self.phys
+                    .copy(frame, src_off, frames[pos / page], pos % page, n)?;
+                pos += n;
+                src_off += n;
+                chunk -= n;
+            }
+        }
+        Ok(faults)
+    }
+
+    /// Copies scattered physical source ranges (`(frame, offset, len)`
+    /// triples, in order) into the application range at `vaddr`,
+    /// faulting destination pages exactly as [`Vm::write_app`] would.
+    /// The fused mirror of [`Vm::copy_app_into_frames`] for the
+    /// receive-side copyout: no intermediate contiguous buffer.
+    pub fn copy_iovecs_into_app(
+        &mut self,
+        space: SpaceId,
+        vaddr: u64,
+        srcs: &[(FrameId, usize, usize)],
+    ) -> Result<Vec<FaultOutcome>, VmError> {
+        let len: usize = srcs.iter().map(|&(_, _, n)| n).sum();
+        let mut faults = Vec::new();
+        let page = self.page_size();
+        let mut addr = vaddr;
+        let end = vaddr + len as u64;
+        let mut it = srcs.iter().copied();
+        let (mut sf, mut soff, mut srem) = (FrameId(0), 0usize, 0usize);
+        while addr < end {
+            let vpn = addr / page as u64;
+            let off = (addr % page as u64) as usize;
+            let mut chunk = (page - off).min((end - addr) as usize);
+            let needs_fault = match self.space(space).pte(vpn) {
+                Some(p) => !p.write,
+                None => true,
+            };
+            if needs_fault {
+                let full = off == 0 && chunk == page;
+                faults.push(self.handle_fault_opts(space, vpn, Access::Write, full)?);
+            }
+            let frame = self
+                .space(space)
+                .pte(vpn)
+                .expect("mapped after fault")
+                .frame;
+            addr += chunk as u64;
+            let mut doff = off;
+            while chunk > 0 {
+                if srem == 0 {
+                    let (f, o, n) = it.next().expect("source iovecs cover the write");
+                    sf = f;
+                    soff = o;
+                    srem = n;
+                }
+                let n = chunk.min(srem);
+                self.phys.copy(sf, soff, frame, doff, n)?;
+                soff += n;
+                srem -= n;
+                doff += n;
+                chunk -= n;
+            }
+        }
+        Ok(faults)
+    }
+
+    /// Compares `expected` against the application bytes at `vaddr`
+    /// in place (no materialized copy), faulting pages exactly as
+    /// [`Vm::read_app`] would. Returns whether every byte matched;
+    /// stops at the first differing chunk.
+    pub fn app_matches(
+        &mut self,
+        space: SpaceId,
+        vaddr: u64,
+        expected: &[u8],
+    ) -> Result<(bool, Vec<FaultOutcome>), VmError> {
+        let mut faults = Vec::new();
+        let page = self.page_size() as u64;
+        let mut addr = vaddr;
+        let end = vaddr + expected.len() as u64;
+        let mut pos = 0usize;
+        while addr < end {
+            let vpn = addr / page;
+            let off = (addr % page) as usize;
+            let chunk = ((page - addr % page) as usize).min((end - addr) as usize);
+            let needs_fault = match self.space(space).pte(vpn) {
+                Some(p) => !p.read,
+                None => true,
+            };
+            if needs_fault {
+                faults.push(self.handle_fault(space, vpn, Access::Read)?);
+            }
+            let frame = self
+                .space(space)
+                .pte(vpn)
+                .expect("mapped after fault")
+                .frame;
+            if self.phys.read(frame, off, chunk)? != &expected[pos..pos + chunk] {
+                return Ok((false, faults));
+            }
+            addr += chunk as u64;
+            pos += chunk;
+        }
+        Ok((true, faults))
     }
 
     // ----- side-effect-free observation ------------------------------------------

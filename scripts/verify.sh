@@ -65,4 +65,29 @@ for section in fault_stats simulated_latency_60kb_us; do
   }
 done
 
+echo "== perf regression gate (fresh minimums vs BENCH_baseline.json) =="
+# Regenerates the datapath microbench and three serial report runs and
+# compares their minimums against the committed baseline. Minimums, not
+# means: on a shared machine the mean absorbs unrelated load spikes
+# while the min tracks the code. GENIE_BENCH_TOL (percent, default 25)
+# sets the failure threshold; CI passes 50 to ride out runner variance;
+# GENIE_BENCH_TOL=skip disables the gate entirely.
+if [ "${GENIE_BENCH_TOL:-25}" = "skip" ]; then
+  echo "perf gate skipped (GENIE_BENCH_TOL=skip)"
+else
+  perf_dir=$(mktemp -d)
+  trap 'rm -f "$tmp_serial" "$tmp_par" "$tmp_metrics" "$tmp_trace" "$tmp_bench"; rm -rf "$tmp_json_dir" "$perf_dir"' EXIT
+  for i in 1 2 3; do
+    (cd "$perf_dir" && "$OLDPWD/target/release/report" --json all --threads 1 >/dev/null 2>&1)
+    cp "$perf_dir/BENCH_report.json" "$perf_dir/run$i.json"
+  done
+  # Two full bench runs: the gate takes the per-benchmark best, so a
+  # load spike during one run cannot fake a regression.
+  ./target/release/datapath --out "$perf_dir/dp1.json" >/dev/null
+  ./target/release/datapath --out "$perf_dir/dp2.json" >/dev/null
+  python3 scripts/perf_gate.py --baseline BENCH_baseline.json \
+    --fresh "$perf_dir"/dp?.json --reports "$perf_dir"/run?.json \
+    --tol "${GENIE_BENCH_TOL:-25}"
+fi
+
 echo "verify: all checks passed"
