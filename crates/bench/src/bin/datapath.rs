@@ -106,6 +106,44 @@ fn main() {
         ));
     }
 
+    {
+        // The schedule shape a loaded switch generates: bursts of
+        // same-instant PortDrain arbitrations across several output
+        // ports, each pop immediately rescheduling a short busy_until
+        // serialization hop that lands between the other ports'
+        // pending decisions. Exercises same-instant FIFO grouping and
+        // near-future inserts together, where plain churn exercises
+        // neither.
+        let mut q = EventQueue::new();
+        results.push(time_named(
+            "datapath/event_switch_arbitration",
+            iters(200),
+            || {
+                let mut now = 5_000_000u64;
+                for round in 0..8u64 {
+                    for port in 0..8u64 {
+                        let t = SimTime(now + port * 40);
+                        for i in 0..16u64 {
+                            q.push(t, round * 1000 + port * 16 + i);
+                        }
+                    }
+                    // Drain pass: every decision spawns a wire-slot
+                    // hop 7 ticks out, interleaving with the ports
+                    // still waiting their turn.
+                    for _ in 0..128u64 {
+                        let (t, e) = q.pop().expect("arbitration entry");
+                        q.push(SimTime(t.0 + 7), e + 100_000);
+                    }
+                    for _ in 0..128u64 {
+                        std::hint::black_box(q.pop().expect("serialized entry"));
+                    }
+                    now += 10_000;
+                }
+                assert!(q.pop().is_none(), "arbitration rounds must drain");
+            },
+        ));
+    }
+
     // One full simulated 60 KB exchange, host wall-clock, world built
     // once and reused as the sweeps do. A `SeriesContext` keeps at
     // most one measurement's buffers live at a time (each measurement

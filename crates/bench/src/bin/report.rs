@@ -17,6 +17,10 @@
 //! fig5 fig6 fig7 table6 table7 table8 oc12 outboard ablations
 //! waterfall
 //!
+//! `report fabric` renders the N-host switched-fabric distribution
+//! suites. It is explicit-only — never included in `all` or a bare
+//! `report` — so the paper exhibits' golden output is unaffected.
+//!
 //! Selected exhibits are computed in parallel on the genie-runner
 //! worker pool (thread count from `--threads`, else `GENIE_THREADS`,
 //! else the machine's parallelism) and printed in their canonical
@@ -237,9 +241,17 @@ fn main() {
         genie_runner::set_threads(n);
         args.drain(i..=i + 1);
     }
+    // `fabric` is an explicit exhibit: `report fabric` only. It is
+    // never part of `all` or a bare `report`, so the paper exhibits'
+    // golden output stays byte-identical.
+    let mut want_fabric = false;
+    while let Some(i) = args.iter().position(|a| a == "fabric") {
+        args.remove(i);
+        want_fabric = true;
+    }
     // `--metrics`/`--trace` with no exhibit names means "just inspect":
-    // no exhibits render.
-    let inspect_only = args.is_empty() && (want_metrics || trace_path.is_some());
+    // no exhibits render. Same for a pure `report fabric`.
+    let inspect_only = args.is_empty() && (want_metrics || trace_path.is_some() || want_fabric);
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
     let m = MachineSpec::micron_p166;
 
@@ -300,6 +312,9 @@ fn main() {
     }
     for (_name, text, _ms) in &rendered {
         println!("{text}\n");
+    }
+    if want_fabric {
+        println!("{}\n", gen::fabric_exhibit());
     }
     if profile {
         let names: Vec<&str> = selected.iter().map(|(n, _)| *n).collect();

@@ -7,8 +7,11 @@
 //! structures (the taxonomy, the op tables, the machine specs).
 
 pub mod compare;
+pub mod fabric;
 pub mod inspect;
 pub mod timing;
+
+pub use fabric::fabric_exhibit;
 
 use genie::oplists::{self, OpUse, Scale};
 use genie::{

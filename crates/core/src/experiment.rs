@@ -672,6 +672,52 @@ pub fn throughput_mbps(bytes: usize, latency: SimTime) -> f64 {
     (bytes as f64 * 8.0) / latency.as_us()
 }
 
+/// Summary of a latency sample set: the distribution shape the N-host
+/// contention suites report per semantics (the paper's two-host runs
+/// are deterministic point measurements; under fan-in contention the
+/// *spread* carries the signal).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyDistribution {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: SimTime,
+    /// Median (nearest-rank).
+    pub p50: SimTime,
+    /// 99th percentile (nearest-rank).
+    pub p99: SimTime,
+    /// Largest sample.
+    pub max: SimTime,
+    /// Arithmetic mean.
+    pub mean: SimTime,
+}
+
+impl LatencyDistribution {
+    /// Summarizes a sample set. Returns `None` for an empty set.
+    pub fn from_samples(samples: &[SimTime]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = |p: f64| {
+            // Nearest-rank percentile: ceil(p * n) clamped to [1, n].
+            let n = sorted.len();
+            let r = ((p * n as f64).ceil() as usize).clamp(1, n);
+            sorted[r - 1]
+        };
+        let sum: u64 = sorted.iter().map(|t| t.0).sum();
+        Some(LatencyDistribution {
+            count: sorted.len(),
+            min: sorted[0],
+            p50: rank(0.50),
+            p99: rank(0.99),
+            max: sorted[sorted.len() - 1],
+            mean: SimTime(sum / sorted.len() as u64),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

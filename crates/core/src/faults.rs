@@ -107,25 +107,35 @@ pub(crate) struct FaultState {
     pub oracle: Option<Oracle>,
     /// Receiver-side hold queues, `[host index][VC]` (sender-side
     /// retransmit buffers live in the world's output-op arena).
-    pub rx_held: [DenseMap<HoldQueue>; 2],
+    pub rx_held: Vec<DenseMap<HoldQueue>>,
     /// Next sequence number each `[host index][VC]` will release.
-    pub rx_next_seq: [DenseMap<u32>; 2],
+    pub rx_next_seq: Vec<DenseMap<u32>>,
     /// Frames hoarded by pressure episodes, per host.
-    pub hoard: [Vec<FrameId>; 2],
+    pub hoard: Vec<Vec<FrameId>>,
+    /// Oracle sweep site names, one per host (precomputed so the
+    /// per-event sweep allocates nothing).
+    pub site_names: Vec<String>,
     /// Distribution of hold-queue depths observed as PDUs were held
     /// (empty in fault-free worlds, where nothing is ever held).
     pub hold_depth: genie_trace::metrics::Histogram,
 }
 
 impl FaultState {
-    pub fn new(cfg: FaultConfig) -> Self {
+    pub fn new(cfg: FaultConfig, n_hosts: usize) -> Self {
         FaultState {
             plan: FaultPlan::new(cfg),
             stats: FaultStats::default(),
             oracle: None,
-            rx_held: [DenseMap::new(), DenseMap::new()],
-            rx_next_seq: [DenseMap::new(), DenseMap::new()],
-            hoard: [Vec::new(), Vec::new()],
+            rx_held: (0..n_hosts).map(|_| DenseMap::new()).collect(),
+            rx_next_seq: (0..n_hosts).map(|_| DenseMap::new()).collect(),
+            hoard: (0..n_hosts).map(|_| Vec::new()).collect(),
+            site_names: (0..n_hosts)
+                .map(|i| match i {
+                    0 => "host A".to_string(),
+                    1 => "host B".to_string(),
+                    i => format!("host {i}"),
+                })
+                .collect(),
             hold_depth: genie_trace::metrics::Histogram::new(),
         }
     }
@@ -306,8 +316,14 @@ impl World {
                 tracer.instant(genie_trace::Track::Events, "retransmit", time, cells);
             }
         }
+        let switched = self.is_switched();
         self.hosts[from.idx()].charge_overlapped(Op::CellTx, total, cells);
-        let dev_rx = self.hosts[from.peer().idx()].charge_overlapped(Op::DeviceFixedRecv, 0, 0);
+        let dev_rx = if switched {
+            SimTime::ZERO // charged on the switch's egress hop
+        } else {
+            let dst = self.route_dst(from, vc);
+            self.hosts[dst.idx()].charge_overlapped(Op::DeviceFixedRecv, 0, 0)
+        };
         let wire_start = time.max(self.link_busy_until[from.idx()]);
         let wire_done = wire_start + self.link.wire_time(total);
         self.link_busy_until[from.idx()] = wire_done;
@@ -329,27 +345,47 @@ impl World {
             if self.force_cells {
                 pdu = self.roundtrip_through_cells(pdu);
             }
-            self.events.push(
-                arrival,
+            let ev = if switched {
+                Event::SwitchIngress {
+                    from,
+                    vc,
+                    pdu: Some(pdu),
+                    cells,
+                    total,
+                    sent_at,
+                    token,
+                }
+            } else {
                 Event::Arrive {
-                    to: from.peer(),
+                    to: self.route_dst(from, vc),
                     vc,
                     pdu,
                     sent_at,
                     token,
-                },
-            );
+                }
+            };
+            self.events.push(arrival, ev);
         } else {
             self.fault.stats.pdus_damaged += 1;
-            self.events.push(
-                arrival,
+            let ev = if switched {
+                Event::SwitchIngress {
+                    from,
+                    vc,
+                    pdu: None,
+                    cells,
+                    total,
+                    sent_at,
+                    token,
+                }
+            } else {
                 Event::ArriveDamaged {
-                    to: from.peer(),
+                    to: self.route_dst(from, vc),
                     vc,
                     token,
                     cells,
-                },
-            );
+                }
+            };
+            self.events.push(arrival, ev);
         }
         self.restore_inflight(token, inf);
     }
@@ -375,15 +411,29 @@ impl World {
             }
             host.charge_overlapped(Op::CellRx, cells * CELL_PAYLOAD, cells);
         }
-        self.hosts[to.peer().idx()]
-            .adapter
-            .return_credits(vc, cells as u32);
-        if let Some(&front) = self.txq[to.peer().idx()]
-            .get(u64::from(vc.0))
-            .and_then(std::collections::VecDeque::front)
-        {
-            let wake = time + self.link.fixed_latency;
-            self.events.push(wake, Event::Transmit { token: front });
+        // The damaged cells still drained the receiver's buffers, so
+        // the last hop's credits return as usual.
+        match &mut self.fabric {
+            crate::world::FabricState::Passthrough => {
+                let sender = HostId(to.0 ^ 1);
+                self.hosts[sender.idx()]
+                    .adapter
+                    .return_credits(vc, cells as u32);
+                if let Some(&front) = self.txq[sender.idx()]
+                    .get(u64::from(vc.0))
+                    .and_then(std::collections::VecDeque::front)
+                {
+                    let wake = time + self.link.fixed_latency;
+                    self.events.push(wake, Event::Transmit { token: front });
+                }
+            }
+            crate::world::FabricState::Switched(sw) => {
+                sw.return_credits(to.0, vc.0, cells as u32);
+                if sw.queue_len(to.0) > 0 {
+                    let wake = time + self.link.fixed_latency;
+                    self.events.push(wake, Event::PortDrain { port: to.0 });
+                }
+            }
         }
         self.schedule_retransmit(time, token);
     }
@@ -404,7 +454,7 @@ impl World {
             return;
         };
         self.fault.stats.pressure_events += 1;
-        let hid = if p.host == 0 { HostId::A } else { HostId::B };
+        let hid = HostId(p.host as u16);
         {
             let tracer = &mut self.hosts[p.host].tracer;
             if tracer.enabled() {
@@ -440,14 +490,15 @@ impl World {
         }
     }
 
-    /// Structural oracle sweep over both hosts (runs after every event
+    /// Structural oracle sweep over every host (runs after every event
     /// when the oracle is enabled).
     pub(crate) fn oracle_sweep(&mut self) {
         let Some(mut o) = self.fault.oracle.take() else {
             return;
         };
-        o.check_vm("host A", &self.hosts[0].vm);
-        o.check_vm("host B", &self.hosts[1].vm);
+        for (i, h) in self.hosts.iter().enumerate() {
+            o.check_vm(&self.fault.site_names[i], &h.vm);
+        }
         self.fault.oracle = Some(o);
     }
 

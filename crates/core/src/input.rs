@@ -277,19 +277,33 @@ impl World {
             host.charge_latency(Op::OsFixedRecv, 0, 0);
             host.charge_overlapped(Op::CellRx, total, cells);
         }
-        // Return credits to the sender for the drained cells, and wake
-        // its transmit queue if PDUs were stalled waiting for them.
-        self.hosts[to.peer().idx()]
-            .adapter
-            .return_credits(vc, cells as u32);
-        if let Some(&front) = self.txq[to.peer().idx()]
-            .get(u64::from(vc.0))
-            .and_then(VecDeque::front)
-        {
-            // A credit-return message crosses the wire back.
-            let wake = time + self.link.fixed_latency;
-            self.events
-                .push(wake, crate::world::Event::Transmit { token: front });
+        // Return the last hop's credits for the drained cells and wake
+        // whoever was stalled on them: the peer's transmit queue in a
+        // passthrough world, the switch's egress port otherwise.
+        match &mut self.fabric {
+            crate::world::FabricState::Passthrough => {
+                let sender = HostId(to.0 ^ 1);
+                self.hosts[sender.idx()]
+                    .adapter
+                    .return_credits(vc, cells as u32);
+                if let Some(&front) = self.txq[sender.idx()]
+                    .get(u64::from(vc.0))
+                    .and_then(VecDeque::front)
+                {
+                    // A credit-return message crosses the wire back.
+                    let wake = time + self.link.fixed_latency;
+                    self.events
+                        .push(wake, crate::world::Event::Transmit { token: front });
+                }
+            }
+            crate::world::FabricState::Switched(sw) => {
+                sw.return_credits(to.0, vc.0, cells as u32);
+                if sw.queue_len(to.0) > 0 {
+                    let wake = time + self.link.fixed_latency;
+                    self.events
+                        .push(wake, crate::world::Event::PortDrain { port: to.0 });
+                }
+            }
         }
 
         if !self.fault.plan.active() {

@@ -54,6 +54,7 @@ pub mod align;
 pub mod config;
 pub mod error;
 pub mod experiment;
+pub(crate) mod fabric;
 pub(crate) mod faults;
 pub mod host;
 pub mod input;
@@ -61,6 +62,7 @@ pub mod observe;
 pub mod oplists;
 pub mod output;
 pub mod semantics;
+pub mod suites;
 pub mod world;
 
 pub use align::{plan_aligned_input, PageAction, PagePlan};
@@ -69,7 +71,7 @@ pub use error::GenieError;
 pub use experiment::{
     latency_sweep, measure_latency, measure_latency_recorded, measure_latency_traced,
     measure_ping_pong, measure_stream, throughput_mbps, utilization_sweep, ExperimentPoint,
-    ExperimentSetup, SeriesContext,
+    ExperimentSetup, LatencyDistribution, SeriesContext,
 };
 pub use genie_trace::chrome::ChromeTrace;
 pub use genie_trace::metrics::{Histogram, Metric, MetricsRegistry};
@@ -79,4 +81,5 @@ pub use input::{InputRequest, RecvCompletion};
 pub use observe::{ObservableState, RegionObservation};
 pub use output::{OutputRequest, SendCompletion};
 pub use semantics::{Allocation, Integrity, Semantics};
-pub use world::{HostId, World, WorldConfig};
+pub use suites::{cluster_reduce, multicast_stream, rpc_fanin, SuitePoint, ALL_SEMANTICS};
+pub use world::{Fabric, HostId, World, WorldConfig};

@@ -53,11 +53,12 @@ pub struct ObservableState {
 }
 
 impl World {
-    /// Enables (or disables) structured tracing on both hosts and the
+    /// Enables (or disables) structured tracing on every host and the
     /// link.
     pub fn enable_tracing(&mut self, on: bool) {
-        self.hosts[0].tracer.set_enabled(on);
-        self.hosts[1].tracer.set_enabled(on);
+        for h in &mut self.hosts {
+            h.tracer.set_enabled(on);
+        }
         self.wire_tracer.set_enabled(on);
     }
 
@@ -67,25 +68,32 @@ impl World {
     }
 
     /// Drains every recorded trace event into one [`TraceSet`] with one
-    /// owner per host plus the link. Tracing stays enabled.
+    /// owner per host plus the link. Tracing stays enabled. In a
+    /// switched world each host's Wire track carries its egress-port
+    /// spans, so the per-port timelines ride on the host owners.
     pub fn take_trace(&mut self) -> TraceSet {
-        TraceSet {
-            owners: vec![
-                ("host A", self.hosts[0].tracer.take()),
-                ("host B", self.hosts[1].tracer.take()),
-                ("link", self.wire_tracer.take()),
-            ],
+        let mut owners = Vec::with_capacity(self.hosts.len() + 1);
+        for i in 0..self.hosts.len() {
+            let name = self.fault.site_names[i].clone();
+            owners.push((name, self.hosts[i].tracer.take()));
         }
+        owners.push(("link".to_string(), self.wire_tracer.take()));
+        TraceSet { owners }
     }
 
     /// Builds the unified metrics registry: per-host ledger statistics
     /// (every charged operation), adapter, VM and frame-allocator
-    /// counters, plus world-level fault-injection counters. Keys are
-    /// stable and sorted, so the JSON dump is deterministic.
+    /// counters, plus world-level fault-injection (and, in switched
+    /// worlds, switch) counters. Keys are stable and sorted, so the
+    /// JSON dump is deterministic.
     pub fn metrics(&self) -> MetricsRegistry {
         let mut r = MetricsRegistry::new();
-        for (id, prefix) in [(HostId::A, "host_a"), (HostId::B, "host_b")] {
-            let h = self.host(id);
+        for (i, h) in self.hosts.iter().enumerate() {
+            let prefix = match i {
+                0 => "host_a".to_string(),
+                1 => "host_b".to_string(),
+                i => format!("host_{i}"),
+            };
             r.set_gauge(&format!("{prefix}.busy_us"), h.ledger.busy().as_us());
             r.set_gauge(&format!("{prefix}.clock_us"), h.clock.as_us());
             r.set_counter(
@@ -165,6 +173,28 @@ impl World {
         }
         if self.fault.hold_depth.count() > 0 {
             r.set_histogram("fault.hold_queue_depth", self.fault.hold_depth.clone());
+        }
+        if let Some(s) = self.switch_stats() {
+            r.set_counter("switch.pdus_ingress", s.pdus_ingress);
+            r.set_counter("switch.pdus_replicated", s.pdus_replicated);
+            r.set_counter("switch.pdus_dispatched", s.pdus_dispatched);
+            r.set_counter("switch.credit_stalls", s.credit_stalls);
+            r.set_counter("switch.max_port_depth", s.max_port_depth);
+            let sw = self.switch().expect("switched world");
+            for port in 0..sw.ports() {
+                r.set_counter(
+                    &format!("switch.port_{port}.dispatched"),
+                    sw.port_dispatched(port),
+                );
+                r.set_counter(
+                    &format!("switch.port_{port}.credit_stalls"),
+                    sw.port_credit_stalls(port),
+                );
+                r.set_counter(
+                    &format!("switch.port_{port}.max_depth"),
+                    sw.port_max_depth(port),
+                );
+            }
         }
         r
     }

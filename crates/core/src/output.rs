@@ -358,9 +358,18 @@ impl World {
         // transmission (contributes to Figure 4, not to latency).
         self.hosts[from.idx()].charge_overlapped(Op::CellTx, total, cells);
 
+        let switched = self.is_switched();
         let dma_setup = self.hosts[from.idx()].charge_overlapped(Op::DmaSetup, 0, 0);
         let dev_tx = self.hosts[from.idx()].charge_overlapped(Op::DeviceFixedSend, 0, 0);
-        let dev_rx = self.hosts[from.peer().idx()].charge_overlapped(Op::DeviceFixedRecv, 0, 0);
+        // The receiving device's fixed cost belongs to whoever faces
+        // the destination host: the sender's hop in a passthrough
+        // world, the switch's egress hop otherwise.
+        let dev_rx = if switched {
+            SimTime::ZERO
+        } else {
+            let dst = self.route_dst(from, vc);
+            self.hosts[dst.idx()].charge_overlapped(Op::DeviceFixedRecv, 0, 0)
+        };
         // The wire serializes transmissions in each direction:
         // pipelined datagrams queue behind the previous PDU's cells.
         let ready = time + dma_setup + dev_tx;
@@ -368,9 +377,12 @@ impl World {
         let wire_done = wire_start + self.link.wire_time(total);
         self.link_busy_until[from.idx()] = wire_done;
         if self.wire_tracer.enabled() {
-            let name = match from {
-                HostId::A => "wire A\u{2192}B",
-                HostId::B => "wire B\u{2192}A",
+            let name = if switched {
+                "wire host\u{2192}switch"
+            } else if from == HostId::A {
+                "wire A\u{2192}B"
+            } else {
+                "wire B\u{2192}A"
             };
             self.wire_tracer.span(
                 genie_trace::Track::Wire,
@@ -381,6 +393,8 @@ impl World {
                 cells,
             );
         }
+        // In a passthrough world this is the arrival at the peer; in a
+        // switched world, the arrival at the switch's ingress.
         let mut arrival = wire_done + self.link.fixed_latency + dev_rx;
         let mut txdone = wire_start.max(time) + self.dma.transfer_time(total);
 
@@ -424,31 +438,51 @@ impl World {
                 if !self.apply_wire_damage(vc, pdu.payload(), damage) {
                     self.fault.stats.pdus_damaged += 1;
                     self.recycle_pdu(pdu);
-                    self.events.push(
-                        arrival,
+                    let ev = if switched {
+                        Event::SwitchIngress {
+                            from,
+                            vc,
+                            pdu: None,
+                            cells,
+                            total,
+                            sent_at,
+                            token,
+                        }
+                    } else {
                         Event::ArriveDamaged {
-                            to: from.peer(),
+                            to: self.route_dst(from, vc),
                             vc,
                             token,
                             cells,
-                        },
-                    );
+                        }
+                    };
+                    self.events.push(arrival, ev);
                     self.events.push(txdone, Event::TxDone { token });
                     return true;
                 }
             }
         }
 
-        self.events.push(
-            arrival,
+        let ev = if switched {
+            Event::SwitchIngress {
+                from,
+                vc,
+                pdu: Some(pdu),
+                cells,
+                total,
+                sent_at,
+                token,
+            }
+        } else {
             Event::Arrive {
-                to: from.peer(),
+                to: self.route_dst(from, vc),
                 vc,
                 pdu,
                 sent_at,
                 token,
-            },
-        );
+            }
+        };
+        self.events.push(arrival, ev);
         self.events.push(txdone, Event::TxDone { token });
         true
     }

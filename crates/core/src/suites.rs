@@ -1,0 +1,403 @@
+//! N-host switched-fabric experiment suites.
+//!
+//! The paper's measurements are two-host point experiments; these
+//! suites put the same eight semantics under *contention* — the regime
+//! production deployments live in — on switched topologies:
+//!
+//! - [`rpc_fanin`]: many clients fan requests into one server port
+//!   (the switch's output-port FIFO and egress credit loop are the
+//!   bottleneck);
+//! - [`cluster_reduce`]: an N-node reduction — every node ships its
+//!   vector to the root each phase, the root folds;
+//! - [`multicast_stream`]: one sender replicated at switch ingress to
+//!   many subscribers.
+//!
+//! Each suite verifies end-to-end integrity (every delivered byte is
+//! checked against the pattern the sender wrote), verifies the fabric
+//! quiesced (no PDU stranded in a port FIFO), and reports the latency
+//! *distribution* per semantics — under contention the spread carries
+//! the signal, so results come back as [`LatencyDistribution`]
+//! (p50/p99) plus the switch's own counters.
+//!
+//! Worlds are single-threaded by construction; a sweep over semantics
+//! shards the independent worlds (disjoint host groups) across
+//! genie-runner workers, so `sweep` output is byte-identical at any
+//! thread count.
+
+use std::collections::HashMap;
+
+use genie_machine::{MachineSpec, SimTime};
+use genie_net::{SwitchConfig, SwitchStats, Vc};
+use genie_vm::SpaceId;
+
+use crate::error::GenieError;
+use crate::experiment::LatencyDistribution;
+use crate::semantics::{Allocation, Semantics};
+use crate::world::{HostId, World, WorldConfig};
+
+/// One suite run's result for one semantics.
+#[derive(Clone, Copy, Debug)]
+pub struct SuitePoint {
+    /// Data-passing semantics under test.
+    pub semantics: Semantics,
+    /// Latency distribution over every delivered datagram.
+    pub dist: LatencyDistribution,
+    /// The switch's aggregate counters at quiesce.
+    pub switch: SwitchStats,
+}
+
+/// The eight semantics, in the taxonomy's display order (the order
+/// every suite sweeps).
+pub const ALL_SEMANTICS: &[Semantics] = &[
+    Semantics::Copy,
+    Semantics::EmulatedCopy,
+    Semantics::Share,
+    Semantics::EmulatedShare,
+    Semantics::Move,
+    Semantics::EmulatedMove,
+    Semantics::WeakMove,
+    Semantics::EmulatedWeakMove,
+];
+
+/// Runs `f` once per semantics, sharding the independent worlds across
+/// genie-runner workers (each world is one isolated host group, so the
+/// sweep is deterministic at any thread count).
+pub fn sweep<F>(semantics: &[Semantics], f: F) -> Vec<SuitePoint>
+where
+    F: Fn(Semantics) -> SuitePoint + Sync,
+{
+    genie_runner::map(semantics, |&s| f(s))
+}
+
+/// Asserts the switch ran dry: every output-port FIFO is empty at
+/// quiesce (with the conservation counters, this means every ingress
+/// PDU was dispatched).
+fn assert_fabric_quiesced(w: &World) {
+    let sw = w.switch().expect("suite worlds are switched");
+    for port in 0..sw.ports() {
+        assert_eq!(
+            sw.queue_len(port),
+            0,
+            "PDUs stranded in port {port}'s FIFO at quiesce"
+        );
+    }
+    let s = sw.stats();
+    assert_eq!(
+        s.pdus_ingress + s.pdus_replicated,
+        s.pdus_dispatched,
+        "conservation: ingress + replicated == dispatched at quiesce"
+    );
+}
+
+/// Deterministic payload for datagram `k` of stream `stream_id`.
+fn pattern(stream_id: u32, k: usize, bytes: usize) -> Vec<u8> {
+    (0..bytes)
+        .map(|b| {
+            ((b as u32).wrapping_mul(31) ^ stream_id.wrapping_mul(131) ^ (k as u32 * 17)) as u8
+        })
+        .map(|v| v.wrapping_add(1))
+        .collect()
+}
+
+/// Allocates a source buffer appropriate for `semantics` and fills it.
+fn alloc_filled(
+    w: &mut World,
+    host: HostId,
+    space: SpaceId,
+    semantics: Semantics,
+    data: &[u8],
+) -> Result<u64, GenieError> {
+    let vaddr = match semantics.allocation() {
+        Allocation::Application => w.alloc_buffer(host, space, data.len(), 0)?,
+        Allocation::System => w.host_mut(host).alloc_io_buffer(space, data.len())?.1,
+    };
+    w.app_write(host, space, vaddr, data)?;
+    Ok(vaddr)
+}
+
+/// Posts an input appropriate for `semantics` and returns its token.
+fn post_input(
+    w: &mut World,
+    host: HostId,
+    space: SpaceId,
+    semantics: Semantics,
+    vc: Vc,
+    bytes: usize,
+) -> Result<u64, GenieError> {
+    match semantics.allocation() {
+        Allocation::Application => {
+            let (off, _gran) = w.preferred_alignment(host, vc);
+            let dst = w.alloc_buffer(host, space, bytes, off)?;
+            w.input(
+                host,
+                crate::input::InputRequest::app(semantics, vc, space, dst, bytes),
+            )
+        }
+        Allocation::System => w.input(
+            host,
+            crate::input::InputRequest::system(semantics, vc, space, bytes),
+        ),
+    }
+}
+
+/// Collects completions, checks each against its expected pattern, and
+/// returns every latency sample.
+fn check_and_collect(
+    w: &mut World,
+    expected: &HashMap<u64, (HostId, SpaceId, u32, usize)>,
+    bytes: usize,
+) -> Vec<SimTime> {
+    let done = w.take_completed_inputs();
+    assert_eq!(done.len(), expected.len(), "every datagram delivered");
+    let mut latencies = Vec::with_capacity(done.len());
+    for c in &done {
+        let (host, space, stream, k) = expected[&c.token];
+        assert_eq!(c.len, bytes);
+        let want = pattern(stream, k, bytes);
+        let ok = w
+            .app_matches(host, space, c.vaddr, &want)
+            .expect("delivered buffer readable");
+        assert!(ok, "stream {stream} datagram {k} corrupted");
+        latencies.push(c.latency);
+    }
+    latencies
+}
+
+/// RPC fan-in: `clients` clients each fire `requests` pipelined
+/// requests of `bytes` at one server behind a star switch. All client
+/// VCs converge on the server's switch port, so requests contend in
+/// its output FIFO and egress credit loop.
+pub fn rpc_fanin(semantics: Semantics, clients: u16, requests: usize, bytes: usize) -> SuitePoint {
+    const VC_BASE: u32 = 100;
+    let ports = clients + 1;
+    // 128 cells of egress credit per (port, VC): a ~44-cell request
+    // pipelines at most 2 deep per VC before the credit loop pushes
+    // back, so the suite exercises hop-2 flow control, not just
+    // fan-in queueing.
+    let sw = SwitchConfig::star(ports, 0, VC_BASE, 128);
+    let mut w = World::new(WorldConfig::switched(
+        MachineSpec::micron_p166(),
+        ports as usize,
+        sw,
+    ));
+    let server = w.create_process(HostId(0));
+    let procs: Vec<SpaceId> = (1..=clients).map(|i| w.create_process(HostId(i))).collect();
+
+    let mut expected = HashMap::new();
+    for i in 1..=clients {
+        let vc = Vc(VC_BASE + u32::from(i));
+        for k in 0..requests {
+            let tok = post_input(&mut w, HostId(0), server, semantics, vc, bytes).expect("prepost");
+            expected.insert(tok, (HostId(0), server, u32::from(i), k));
+        }
+    }
+    // Interleave issue order across clients so requests pile into the
+    // server port at overlapping times.
+    for k in 0..requests {
+        for i in 1..=clients {
+            let space = procs[usize::from(i) - 1];
+            let data = pattern(u32::from(i), k, bytes);
+            let src = alloc_filled(&mut w, HostId(i), space, semantics, &data).expect("src");
+            w.output(
+                HostId(i),
+                crate::output::OutputRequest::new(
+                    semantics,
+                    Vc(VC_BASE + u32::from(i)),
+                    space,
+                    src,
+                    bytes,
+                ),
+            )
+            .expect("request");
+        }
+    }
+    w.run();
+    let latencies = check_and_collect(&mut w, &expected, bytes);
+    assert_fabric_quiesced(&w);
+    SuitePoint {
+        semantics,
+        dist: LatencyDistribution::from_samples(&latencies).expect("samples"),
+        switch: w.switch_stats().expect("switched"),
+    }
+}
+
+/// N-node reduce: each of `nodes - 1` leaves ships a vector of
+/// `elems` u64 counters to the root each phase; the root folds them
+/// into its accumulator. Returns the distribution over every
+/// per-datagram delivery latency, after checking the reduced sums.
+pub fn cluster_reduce(semantics: Semantics, nodes: u16, elems: usize, phases: usize) -> SuitePoint {
+    const VC_BASE: u32 = 300;
+    let bytes = elems * 8;
+    let sw = SwitchConfig::star(nodes, 0, VC_BASE, 1024);
+    let mut w = World::new(WorldConfig::switched(
+        MachineSpec::micron_p166(),
+        usize::from(nodes),
+        sw,
+    ));
+    let root = w.create_process(HostId(0));
+    let leaves: Vec<SpaceId> = (1..nodes).map(|i| w.create_process(HostId(i))).collect();
+
+    let leaf_val = |i: u16, e: usize| (e as u64).wrapping_mul(u64::from(i)).wrapping_add(7);
+    let mut acc = vec![0u64; elems];
+    let mut latencies = Vec::new();
+    for _phase in 0..phases {
+        w.quiesce();
+        let mut from_leaf = HashMap::new();
+        for i in 1..nodes {
+            let vc = Vc(VC_BASE + u32::from(i));
+            let tok = post_input(&mut w, HostId(0), root, semantics, vc, bytes).expect("prepost");
+            from_leaf.insert(tok, i);
+        }
+        for i in 1..nodes {
+            let space = leaves[usize::from(i) - 1];
+            let data: Vec<u8> = (0..elems)
+                .flat_map(|e| leaf_val(i, e).to_le_bytes())
+                .collect();
+            let src = alloc_filled(&mut w, HostId(i), space, semantics, &data).expect("src");
+            w.output(
+                HostId(i),
+                crate::output::OutputRequest::new(
+                    semantics,
+                    Vc(VC_BASE + u32::from(i)),
+                    space,
+                    src,
+                    bytes,
+                ),
+            )
+            .expect("send half");
+        }
+        w.run();
+        let done = w.take_completed_inputs();
+        assert_eq!(done.len(), usize::from(nodes) - 1, "all halves delivered");
+        for c in &done {
+            let i = from_leaf[&c.token];
+            let got = w.read_app(HostId(0), root, c.vaddr, c.len).expect("read");
+            for (e, chunk) in got.chunks_exact(8).enumerate() {
+                let v = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+                assert_eq!(v, leaf_val(i, e), "leaf {i} element {e} corrupted");
+                acc[e] = acc[e].wrapping_add(v);
+            }
+            latencies.push(c.latency);
+        }
+    }
+    // The fold must equal the directly computed reduction.
+    for (e, a) in acc.iter().enumerate() {
+        let want = (1..nodes)
+            .map(|i| leaf_val(i, e))
+            .fold(0u64, u64::wrapping_add)
+            .wrapping_mul(phases as u64);
+        assert_eq!(*a, want, "reduction diverged at element {e}");
+    }
+    assert_fabric_quiesced(&w);
+    SuitePoint {
+        semantics,
+        dist: LatencyDistribution::from_samples(&latencies).expect("samples"),
+        switch: w.switch_stats().expect("switched"),
+    }
+}
+
+/// Multicast streaming: one server sends `frames` datagrams of
+/// `bytes` on one VC, replicated at switch ingress to every
+/// subscriber. Requires a fault-free world (the multicast/fault
+/// restriction is structural — see `World::new`).
+pub fn multicast_stream(
+    semantics: Semantics,
+    subscribers: u16,
+    frames: usize,
+    bytes: usize,
+) -> SuitePoint {
+    const VC: u32 = 7;
+    let ports = subscribers + 1;
+    let dsts: Vec<u16> = (1..=subscribers).collect();
+    let sw = SwitchConfig::new(ports, 512).route(0, VC, &dsts);
+    let mut w = World::new(WorldConfig::switched(
+        MachineSpec::micron_p166(),
+        usize::from(ports),
+        sw,
+    ));
+    let server = w.create_process(HostId(0));
+    let subs: Vec<SpaceId> = (1..=subscribers)
+        .map(|i| w.create_process(HostId(i)))
+        .collect();
+
+    let mut expected = HashMap::new();
+    for i in 1..=subscribers {
+        let space = subs[usize::from(i) - 1];
+        for k in 0..frames {
+            let tok =
+                post_input(&mut w, HostId(i), space, semantics, Vc(VC), bytes).expect("prepost");
+            expected.insert(tok, (HostId(i), space, 0u32, k));
+        }
+    }
+    for k in 0..frames {
+        let data = pattern(0, k, bytes);
+        let src = alloc_filled(&mut w, HostId(0), server, semantics, &data).expect("src");
+        w.output(
+            HostId(0),
+            crate::output::OutputRequest::new(semantics, Vc(VC), server, src, bytes),
+        )
+        .expect("send frame");
+    }
+    w.run();
+    let latencies = check_and_collect(&mut w, &expected, bytes);
+    assert_fabric_quiesced(&w);
+    let stats = w.switch_stats().expect("switched");
+    assert_eq!(
+        stats.pdus_replicated,
+        (u64::from(subscribers) - 1) * frames as u64,
+        "every frame replicated to every subscriber"
+    );
+    SuitePoint {
+        semantics,
+        dist: LatencyDistribution::from_samples(&latencies).expect("samples"),
+        switch: stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpc_fanin_smoke() {
+        let p = rpc_fanin(Semantics::EmulatedCopy, 4, 3, 2048);
+        assert_eq!(p.dist.count, 12);
+        assert_eq!(p.switch.pdus_ingress, 12);
+        assert_eq!(p.switch.pdus_dispatched, 12);
+        assert!(p.dist.p99 >= p.dist.p50);
+        // Fan-in of 4 clients into one port queues behind the egress
+        // link: the tail must sit above the uncontended median.
+        assert!(p.dist.max > p.dist.min);
+    }
+
+    #[test]
+    fn cluster_reduce_smoke() {
+        let p = cluster_reduce(Semantics::Move, 5, 512, 2);
+        assert_eq!(p.dist.count, 8); // 4 leaves x 2 phases
+        assert_eq!(p.switch.pdus_ingress, 8);
+    }
+
+    #[test]
+    fn multicast_smoke() {
+        let p = multicast_stream(Semantics::EmulatedCopy, 3, 4, 4096);
+        assert_eq!(p.dist.count, 12); // 3 subscribers x 4 frames
+        assert_eq!(p.switch.pdus_ingress, 4);
+        assert_eq!(p.switch.pdus_replicated, 8);
+        assert_eq!(p.switch.pdus_dispatched, 12);
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let run = |threads: usize| {
+            genie_runner::set_threads(threads);
+            let out = sweep(&[Semantics::Copy, Semantics::EmulatedCopy], |s| {
+                rpc_fanin(s, 3, 2, 1024)
+            });
+            genie_runner::set_threads(0);
+            out.iter()
+                .map(|p| (p.semantics, p.dist.p50, p.dist.p99))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4));
+    }
+}

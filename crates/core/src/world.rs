@@ -1,19 +1,21 @@
-//! The two-host experiment world: event loop, clocks and plumbing.
+//! The experiment world: event loop, clocks and plumbing.
 //!
-//! A [`World`] connects two simulated [`Host`]s over an ATM link and
-//! drives datagram exchanges through the Genie data-passing paths.
-//! End-to-end latency emerges from the event timeline exactly as the
-//! paper's Section 8 breaks it down: sender prepare-time operations are
-//! serial before transmission; the wire pipelines DMA and cell
-//! transmission; dispose-time operations at the sender overlap network
-//! latency; and ready/dispose operations at the receiver run at
-//! arrival.
+//! A [`World`] connects N simulated [`Host`]s — back to back over one
+//! ATM link in the paper's two-host configuration
+//! ([`Fabric::Passthrough`]), or through an N-port switch with per-hop
+//! credit flow control ([`Fabric::Switched`]) — and drives datagram
+//! exchanges through the Genie data-passing paths. End-to-end latency
+//! emerges from the event timeline exactly as the paper's Section 8
+//! breaks it down: sender prepare-time operations are serial before
+//! transmission; the wire pipelines DMA and cell transmission;
+//! dispose-time operations at the sender overlap network latency; and
+//! ready/dispose operations at the receiver run at arrival.
 
 use std::collections::VecDeque;
 
 use genie_machine::{LinkSpec, MachineSpec, Op, SimTime};
 use genie_mem::{DenseMap, SlotMap};
-use genie_net::{DmaModel, EventQueue, InputBuffering, Vc, WirePdu};
+use genie_net::{DmaModel, EventQueue, InputBuffering, Switch, SwitchConfig, Vc, WirePdu};
 use genie_vm::SpaceId;
 
 use crate::config::GenieConfig;
@@ -23,31 +25,38 @@ use crate::host::Host;
 use crate::input::{PendingRecv, RecvCompletion};
 use crate::output::{PendingSend, SendCompletion};
 
-/// Which of the two hosts.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum HostId {
-    /// First host (the usual sender in experiments).
-    A,
-    /// Second host (the usual receiver).
-    B,
-}
+/// A host's index in the world (also its switch port number).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub u16);
 
 impl HostId {
-    /// Index into the host array.
+    /// First host (the usual sender in two-host experiments).
+    pub const A: HostId = HostId(0);
+    /// Second host (the usual receiver in two-host experiments).
+    pub const B: HostId = HostId(1);
+
+    /// Index into the host table.
     pub fn idx(self) -> usize {
-        match self {
-            HostId::A => 0,
-            HostId::B => 1,
-        }
+        usize::from(self.0)
     }
 
-    /// The other host.
+    /// The other host of a two-host world. Only meaningful with the
+    /// passthrough fabric, where exactly two hosts exist; datapath
+    /// code routes via the fabric instead (see `World::route_dst`).
     pub fn peer(self) -> HostId {
-        match self {
-            HostId::A => HostId::B,
-            HostId::B => HostId::A,
-        }
+        HostId(self.0 ^ 1)
     }
+}
+
+/// The network fabric connecting the hosts.
+#[derive(Clone, Debug)]
+pub enum Fabric {
+    /// Two hosts wired back to back (the paper's configuration).
+    /// Requires exactly two hosts.
+    Passthrough,
+    /// N hosts behind a store-and-forward switch with per-hop credit
+    /// flow control; the switch must have one port per host.
+    Switched(SwitchConfig),
 }
 
 /// Configuration of a world.
@@ -57,6 +66,10 @@ pub struct WorldConfig {
     pub machine_a: MachineSpec,
     /// Machine spec of host B.
     pub machine_b: MachineSpec,
+    /// Machine specs of hosts 2.. (beyond the paper's two).
+    pub extra_machines: Vec<MachineSpec>,
+    /// How the hosts are wired together.
+    pub fabric: Fabric,
     /// The link between them.
     pub link: LinkSpec,
     /// Receive-side input buffering architecture (both hosts).
@@ -79,6 +92,8 @@ impl Default for WorldConfig {
         WorldConfig {
             machine_a: m.clone(),
             machine_b: m,
+            extra_machines: Vec::new(),
+            fabric: Fabric::Passthrough,
             link: LinkSpec::oc3(),
             rx_buffering: InputBuffering::EarlyDemux,
             genie: GenieConfig::default(),
@@ -98,9 +113,30 @@ impl WorldConfig {
             ..WorldConfig::default()
         }
     }
+
+    /// `n` identical hosts behind a switch (one port per host).
+    pub fn switched(machine: MachineSpec, n: usize, switch: SwitchConfig) -> Self {
+        assert!(n >= 2, "a switched world needs at least two hosts");
+        assert_eq!(
+            switch.ports as usize, n,
+            "switch must have one port per host"
+        );
+        WorldConfig {
+            machine_a: machine.clone(),
+            machine_b: machine.clone(),
+            extra_machines: vec![machine; n - 2],
+            fabric: Fabric::Switched(switch),
+            ..WorldConfig::default()
+        }
+    }
+
+    /// Number of hosts this configuration builds.
+    pub fn n_hosts(&self) -> usize {
+        2 + self.extra_machines.len()
+    }
 }
 
-/// Events of the two-host simulation.
+/// Events of the simulation.
 #[derive(Debug)]
 pub(crate) enum Event {
     /// The sender's adapter starts reading the PDU from memory.
@@ -134,6 +170,21 @@ pub(crate) enum Event {
     ReleaseHoard { host: HostId },
     /// Retry delivering held in-order PDUs that ran out of buffering.
     Redeliver { to: HostId, vc: Vc },
+    /// A PDU (or damaged-PDU marker) reached the switch on its ingress
+    /// hop; only raised by switched fabrics.
+    SwitchIngress {
+        from: HostId,
+        vc: Vc,
+        /// The intact wire image, or `None` for a damaged marker.
+        pdu: Option<WirePdu>,
+        cells: usize,
+        total: usize,
+        sent_at: SimTime,
+        token: u64,
+    },
+    /// Dispatch the head of a switch output port's FIFO (port index ==
+    /// destination host index); only raised by switched fabrics.
+    PortDrain { port: u16 },
 }
 
 /// A PDU that arrived before any matching input was posted
@@ -158,14 +209,25 @@ pub(crate) struct OpSlot {
     pub inflight: Option<Inflight>,
 }
 
-/// Per-host, per-VC queue tables, flat-indexed by VC number (the
-/// experiments use single-digit VCs, so the tables stay tiny).
-pub(crate) type VcQueues<T> = [DenseMap<VecDeque<T>>; 2];
+/// Per-host, per-VC queue tables, outer-indexed by host and
+/// flat-indexed by VC number (the experiments use small VC numbers, so
+/// the tables stay compact).
+pub(crate) type VcQueues<T> = Vec<DenseMap<VecDeque<T>>>;
 
-/// The two-host simulation world.
+/// Runtime fabric state (built from [`Fabric`]).
+#[derive(Debug)]
+pub(crate) enum FabricState {
+    /// Two hosts back to back; routing is the identity `0 <-> 1`.
+    Passthrough,
+    /// The switch's queues, credits and routing table.
+    Switched(Switch),
+}
+
+/// The simulation world.
 #[derive(Debug)]
 pub struct World {
-    pub(crate) hosts: [Host; 2],
+    pub(crate) hosts: Vec<Host>,
+    pub(crate) fabric: FabricState,
     pub(crate) link: LinkSpec,
     pub(crate) dma: DmaModel,
     pub(crate) cfg: GenieConfig,
@@ -182,9 +244,11 @@ pub struct World {
     /// Token counter for input operations (outputs use arena keys).
     pub(crate) next_token: u64,
     pub(crate) seq: DenseMap<u32>,
-    /// Wire occupancy per direction (index by sender), serializing
-    /// transmissions so pipelined streams contend for the link.
-    pub(crate) link_busy_until: [SimTime; 2],
+    /// Wire occupancy of each host's transmit link (indexed by
+    /// sender), serializing transmissions so pipelined streams contend
+    /// for the link. In a switched fabric this is the host-to-switch
+    /// hop; the switch-to-host hop is serialized per output port.
+    pub(crate) link_busy_until: Vec<SimTime>,
     /// Per-(sender, VC) transmit FIFO: a credit-stalled PDU blocks the
     /// head of its VC's line so delivery order is preserved.
     pub(crate) txq: VcQueues<u64>,
@@ -219,27 +283,95 @@ impl World {
                 cfg.genie.overlay_pool_pages,
             )
         };
+        let n = cfg.n_hosts();
+        let mut hosts = Vec::with_capacity(n);
+        hosts.push(mk(cfg.machine_a.clone()));
+        hosts.push(mk(cfg.machine_b.clone()));
+        for m in &cfg.extra_machines {
+            hosts.push(mk(m.clone()));
+        }
+        let fabric = match &cfg.fabric {
+            Fabric::Passthrough => {
+                assert_eq!(n, 2, "the passthrough fabric wires exactly two hosts");
+                FabricState::Passthrough
+            }
+            Fabric::Switched(sc) => {
+                assert_eq!(
+                    sc.ports as usize, n,
+                    "switch must have one port per host ({n} hosts)"
+                );
+                // The retransmit machinery assumes one destination per
+                // in-flight PDU; fan-out suites run fault-free.
+                assert!(
+                    !(sc.has_multicast() && cfg.fault.active()),
+                    "multicast routes require a fault-free world"
+                );
+                FabricState::Switched(Switch::new(sc))
+            }
+        };
         World {
-            hosts: [mk(cfg.machine_a.clone()), mk(cfg.machine_b.clone())],
+            hosts,
+            fabric,
             link: cfg.link.clone(),
             dma: DmaModel::pci32(),
             cfg: cfg.genie,
             rx_mode: cfg.rx_buffering,
             events: EventQueue::new(),
             ops: SlotMap::new(),
-            recvs: [DenseMap::new(), DenseMap::new()],
-            backlog: [DenseMap::new(), DenseMap::new()],
+            recvs: (0..n).map(|_| DenseMap::new()).collect(),
+            backlog: (0..n).map(|_| DenseMap::new()).collect(),
             done_recvs: Vec::new(),
             done_sends: Vec::new(),
             next_token: 1,
             seq: DenseMap::new(),
-            link_busy_until: [SimTime::ZERO; 2],
-            txq: [DenseMap::new(), DenseMap::new()],
+            link_busy_until: vec![SimTime::ZERO; n],
+            txq: (0..n).map(|_| DenseMap::new()).collect(),
             spare_payloads: Vec::new(),
             scratch_cells: Vec::new(),
             force_cells: false,
-            fault: crate::faults::FaultState::new(cfg.fault),
+            fault: crate::faults::FaultState::new(cfg.fault, n),
             wire_tracer: genie_trace::Tracer::new(),
+        }
+    }
+
+    /// Number of hosts in this world.
+    pub fn n_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Whether this world runs a switched fabric.
+    pub fn is_switched(&self) -> bool {
+        matches!(self.fabric, FabricState::Switched(_))
+    }
+
+    /// The switch's aggregate counters (`None` in passthrough worlds).
+    pub fn switch_stats(&self) -> Option<genie_net::SwitchStats> {
+        match &self.fabric {
+            FabricState::Passthrough => None,
+            FabricState::Switched(sw) => Some(sw.stats()),
+        }
+    }
+
+    /// Shared access to the switch (`None` in passthrough worlds);
+    /// property tests inspect queues and credit ledgers through this.
+    pub fn switch(&self) -> Option<&Switch> {
+        match &self.fabric {
+            FabricState::Passthrough => None,
+            FabricState::Switched(sw) => Some(sw),
+        }
+    }
+
+    /// The unicast destination of traffic from `from` on `vc`. In the
+    /// passthrough fabric the route is the wire itself (`0 <-> 1`); in
+    /// a switched fabric it is the first routing-table entry.
+    pub fn route_dst(&self, from: HostId, vc: Vc) -> HostId {
+        match &self.fabric {
+            FabricState::Passthrough => HostId(from.0 ^ 1),
+            FabricState::Switched(sw) => {
+                let dsts = sw.route(from.0, vc.0);
+                assert!(!dsts.is_empty(), "no route from host {} on {vc:?}", from.0);
+                HostId(dsts[0])
+            }
         }
     }
 
@@ -487,6 +619,16 @@ impl World {
                 }
                 Event::ReleaseHoard { host } => self.on_release_hoard(host),
                 Event::Redeliver { to, vc } => self.drain_in_order(time, to, vc),
+                Event::SwitchIngress {
+                    from,
+                    vc,
+                    pdu,
+                    cells,
+                    total,
+                    sent_at,
+                    token,
+                } => self.on_switch_ingress(time, from, vc, pdu, cells, total, sent_at, token),
+                Event::PortDrain { port } => self.on_port_drain(time, port),
             }
             if self.fault.plan.active() {
                 self.inject_pressure(time);
@@ -543,19 +685,30 @@ impl World {
         }
     }
 
-    /// Lets both hosts go idle: advances both clocks to the later of
-    /// the two. Experiments call this between measured exchanges so
-    /// one datagram's dispose work never delays the next measurement
-    /// (the paper measures isolated runs).
+    /// Lets every host go idle: advances all clocks to the latest.
+    /// Experiments call this between measured exchanges so one
+    /// datagram's dispose work never delays the next measurement (the
+    /// paper measures isolated runs).
     pub fn quiesce(&mut self) {
-        let t = self.hosts[0].clock.max(self.hosts[1].clock);
-        self.hosts[0].clock = t;
-        self.hosts[1].clock = t;
+        let t = self
+            .hosts
+            .iter()
+            .map(|h| h.clock)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        for h in &mut self.hosts {
+            h.clock = t;
+        }
     }
 
     /// Global simulated time (max of host clocks and pending events).
     pub fn now(&self) -> SimTime {
-        let h = self.hosts[0].clock.max(self.hosts[1].clock);
+        let h = self
+            .hosts
+            .iter()
+            .map(|h| h.clock)
+            .max()
+            .unwrap_or(SimTime::ZERO);
         match self.events.peek_time() {
             Some(t) => h.max(t),
             None => h,
@@ -573,6 +726,47 @@ mod tests {
         assert_eq!(HostId::B.peer(), HostId::A);
         assert_eq!(HostId::A.idx(), 0);
         assert_eq!(HostId::B.idx(), 1);
+        assert_eq!(HostId(7).idx(), 7);
+    }
+
+    #[test]
+    fn passthrough_routes_between_the_two_hosts() {
+        let w = World::new(WorldConfig::default());
+        assert_eq!(w.n_hosts(), 2);
+        assert!(!w.is_switched());
+        assert_eq!(w.route_dst(HostId::A, Vc(1)), HostId::B);
+        assert_eq!(w.route_dst(HostId::B, Vc(9)), HostId::A);
+    }
+
+    #[test]
+    fn switched_world_builds_n_hosts_and_routes() {
+        let sw = genie_net::SwitchConfig::new(4, 256)
+            .route(0, 1, &[3])
+            .route(3, 2, &[0]);
+        let w = World::new(WorldConfig::switched(MachineSpec::micron_p166(), 4, sw));
+        assert_eq!(w.n_hosts(), 4);
+        assert!(w.is_switched());
+        assert_eq!(w.route_dst(HostId(0), Vc(1)), HostId(3));
+        assert_eq!(w.route_dst(HostId(3), Vc(2)), HostId(0));
+        assert_eq!(w.switch_stats().unwrap().pdus_ingress, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly two hosts")]
+    fn passthrough_rejects_extra_hosts() {
+        let _ = World::new(WorldConfig {
+            extra_machines: vec![MachineSpec::micron_p166()],
+            ..WorldConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "fault-free")]
+    fn multicast_routes_reject_fault_plans() {
+        let sw = genie_net::SwitchConfig::new(3, 256).route(0, 1, &[1, 2]);
+        let mut cfg = WorldConfig::switched(MachineSpec::micron_p166(), 3, sw);
+        cfg.fault = genie_fault::FaultConfig::swarm(1);
+        let _ = World::new(cfg);
     }
 
     #[test]

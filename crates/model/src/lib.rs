@@ -23,6 +23,7 @@
 pub mod harness;
 pub mod model;
 pub mod ops;
+pub mod switch;
 
 pub use harness::{
     check, emit_counterexample, run_scenario, seed_is_faulted, shrink, Divergence, FailureReport,
@@ -33,3 +34,7 @@ pub use model::{
     ModelSendDone, ModelWorld, PostOutcome, RecvDst, ReleaseOutcome, TouchOutcome,
 };
 pub use ops::{payload, ModelOp, Scenario};
+pub use switch::{
+    emit_switch_counterexample, run_switch_scenario, shrink_switch, ModelSwitch, SwitchBug,
+    SwitchDivergence, SwitchOp, SwitchRunStats, SwitchScenario,
+};

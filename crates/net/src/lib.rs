@@ -17,8 +17,11 @@
 //! - [`adapter`]: the host interface with the paper's three input
 //!   buffering architectures — early demultiplexed, pooled in-host,
 //!   and outboard (Section 6.2);
+//! - [`switch`]: an N-port switch with per-hop, per-VC credit flow
+//!   control, output-port FIFO contention queues, and configurable
+//!   fan-in/fan-out routing tables (Section 6.2's network, scaled out);
 //! - [`event`]: a deterministic discrete-event queue used by the
-//!   two-host experiment driver.
+//!   experiment driver.
 //!
 //! All datapaths move real bytes through [`genie_mem::PhysMem`] frames,
 //! so end-to-end integrity is checkable in tests.
@@ -29,6 +32,7 @@ pub mod credit;
 pub mod dma;
 pub mod event;
 pub mod proto;
+pub mod switch;
 
 pub use aal5::{reassemble, reassemble_into, segment, segment_into, Aal5Trailer, Cell, WirePdu};
 pub use adapter::{Adapter, AdapterStats, InputBuffering, PostedRx, RxCompletion, Vc};
@@ -36,3 +40,4 @@ pub use credit::CreditState;
 pub use dma::DmaModel;
 pub use event::EventQueue;
 pub use proto::{checksum16, DatagramHeader, HEADER_LEN};
+pub use switch::{Route, Switch, SwitchConfig, SwitchStats, SwitchedPdu};

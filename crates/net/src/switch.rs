@@ -1,0 +1,418 @@
+//! An N-port ATM switch with per-hop, per-VC credit flow control.
+//!
+//! The paper measured a point-to-point configuration; production Credit
+//! Net deployments hang every host off a switch, so contention appears
+//! at the switch's *output ports*: fan-in traffic from many sources
+//! queues in a per-port FIFO, and each egress link runs its own
+//! credit loop toward the attached host (after Kosak et al., credits
+//! are hop-by-hop, not end-to-end).
+//!
+//! The [`Switch`] here is passive state — routing tables, output-port
+//! FIFOs, per-(port, VC) egress credit ledgers, and counters. The
+//! simulation's event loop drives it: an ingress event routes a PDU to
+//! one or more output ports (fan-out replicates at ingress), and a
+//! port-drain event dispatches the head of a port's FIFO when the
+//! egress link is free and the VC holds credit. A credit-stalled head
+//! blocks its whole port (head-of-line), which trivially preserves
+//! per-VC FIFO order across the hop.
+//!
+//! Routes are keyed by `(source port, VC)`. By convention each VC has
+//! exactly one sender: sequence numbers are per VC end to end, so two
+//! sources sharing a VC would interleave one sequence space across
+//! distinct circuits.
+
+use std::collections::{HashMap, VecDeque};
+
+use genie_machine::SimTime;
+
+use crate::aal5::WirePdu;
+use crate::credit::CreditState;
+
+/// One routing-table entry: traffic from `src` on `vc` goes to every
+/// port in `dsts` (more than one destination = multicast, replicated
+/// at ingress).
+#[derive(Clone, Debug)]
+pub struct Route {
+    /// Ingress port (the sending host's port number).
+    pub src: u16,
+    /// Virtual circuit.
+    pub vc: u32,
+    /// Egress ports, in replication order.
+    pub dsts: Vec<u16>,
+}
+
+/// Static configuration of a switch.
+#[derive(Clone, Debug)]
+pub struct SwitchConfig {
+    /// Number of ports (port `i` attaches host `i`).
+    pub ports: u16,
+    /// Per-(egress port, VC) credit limit in cells.
+    pub port_credit: u32,
+    /// The routing table.
+    pub routes: Vec<Route>,
+}
+
+impl SwitchConfig {
+    /// An empty routing table over `ports` ports.
+    pub fn new(ports: u16, port_credit: u32) -> Self {
+        SwitchConfig {
+            ports,
+            port_credit,
+            routes: Vec::new(),
+        }
+    }
+
+    /// Adds a route (builder style).
+    pub fn route(mut self, src: u16, vc: u32, dsts: &[u16]) -> Self {
+        self.routes.push(Route {
+            src,
+            vc,
+            dsts: dsts.to_vec(),
+        });
+        self
+    }
+
+    /// Whether any route fans out to more than one destination.
+    pub fn has_multicast(&self) -> bool {
+        self.routes.iter().any(|r| r.dsts.len() > 1)
+    }
+
+    /// A star: every spoke port `i != hub` sends to `hub` on VC
+    /// `vc_base + i`, and `hub` sends back to `i` on VC
+    /// `vc_base + ports + i`. One sender per VC by construction.
+    pub fn star(ports: u16, hub: u16, vc_base: u32, port_credit: u32) -> Self {
+        let mut cfg = SwitchConfig::new(ports, port_credit);
+        for i in 0..ports {
+            if i == hub {
+                continue;
+            }
+            cfg = cfg.route(i, vc_base + u32::from(i), &[hub]).route(
+                hub,
+                vc_base + u32::from(ports) + u32::from(i),
+                &[i],
+            );
+        }
+        cfg
+    }
+
+    /// A chain: port `i` sends to `i + 1` on VC `vc_base + i`.
+    pub fn chain(ports: u16, vc_base: u32, port_credit: u32) -> Self {
+        let mut cfg = SwitchConfig::new(ports, port_credit);
+        for i in 0..ports.saturating_sub(1) {
+            cfg = cfg.route(i, vc_base + u32::from(i), &[i + 1]);
+        }
+        cfg
+    }
+}
+
+/// A PDU queued at an output port: the wire image (or a damaged-PDU
+/// marker carrying only cell metadata), plus the correlation state the
+/// final arrival event needs.
+#[derive(Debug)]
+pub struct SwitchedPdu {
+    /// Ingress port.
+    pub src: u16,
+    /// Virtual circuit.
+    pub vc: u32,
+    /// The intact wire image, or `None` for a damaged-PDU marker
+    /// (AAL5 reassembly will fail at the destination adapter).
+    pub payload: Option<WirePdu>,
+    /// Cells on the wire.
+    pub cells: usize,
+    /// Wire bytes (header + payload).
+    pub total: usize,
+    /// Output invocation time at the original sender.
+    pub sent_at: SimTime,
+    /// Originating output token.
+    pub token: u64,
+}
+
+/// Per-output-port state and counters.
+#[derive(Debug, Default)]
+struct Port {
+    /// FIFO of PDUs contending for this egress link.
+    queue: VecDeque<SwitchedPdu>,
+    /// When the egress link finishes its current transmission.
+    busy_until: SimTime,
+    /// Per-VC egress credit toward the attached host.
+    credits: HashMap<u32, CreditState>,
+    /// PDUs dispatched onto the egress link.
+    dispatched: u64,
+    /// Dispatch attempts that found the head VC out of credit.
+    credit_stalls: u64,
+    /// Deepest FIFO occupancy observed.
+    max_depth: u64,
+}
+
+/// Aggregate switch counters (sums over ports plus ingress counts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// PDUs accepted at ingress (one per ingress event).
+    pub pdus_ingress: u64,
+    /// Extra copies made for multicast fan-out.
+    pub pdus_replicated: u64,
+    /// PDUs dispatched from output ports.
+    pub pdus_dispatched: u64,
+    /// Head-of-line credit stalls across all ports.
+    pub credit_stalls: u64,
+    /// Deepest output-port FIFO observed.
+    pub max_port_depth: u64,
+}
+
+/// The switch: routing table, output-port FIFOs, egress credit.
+#[derive(Debug)]
+pub struct Switch {
+    routes: HashMap<(u16, u32), Vec<u16>>,
+    ports: Vec<Port>,
+    port_credit: u32,
+    pdus_ingress: u64,
+    pdus_replicated: u64,
+}
+
+impl Switch {
+    /// Builds a switch from its configuration.
+    pub fn new(cfg: &SwitchConfig) -> Self {
+        let mut routes = HashMap::new();
+        for r in &cfg.routes {
+            for &d in &r.dsts {
+                assert!(
+                    d < cfg.ports,
+                    "route ({}, {}) names port {d} of {}",
+                    r.src,
+                    r.vc,
+                    cfg.ports
+                );
+            }
+            let prev = routes.insert((r.src, r.vc), r.dsts.clone());
+            assert!(
+                prev.is_none(),
+                "duplicate route for (src {}, vc {})",
+                r.src,
+                r.vc
+            );
+        }
+        Switch {
+            routes,
+            ports: (0..cfg.ports).map(|_| Port::default()).collect(),
+            port_credit: cfg.port_credit,
+            pdus_ingress: 0,
+            pdus_replicated: 0,
+        }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> u16 {
+        self.ports.len() as u16
+    }
+
+    /// The egress ports for traffic from `src` on `vc` (empty when the
+    /// routing table has no entry — the PDU is dropped at ingress).
+    pub fn route(&self, src: u16, vc: u32) -> &[u16] {
+        self.routes.get(&(src, vc)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Records an ingress PDU (`replicas` extra multicast copies).
+    pub fn note_ingress(&mut self, replicas: usize) {
+        self.pdus_ingress += 1;
+        self.pdus_replicated += replicas as u64;
+    }
+
+    /// Appends a PDU to an output port's FIFO; returns the new depth.
+    pub fn enqueue(&mut self, port: u16, pdu: SwitchedPdu) -> usize {
+        let p = &mut self.ports[port as usize];
+        p.queue.push_back(pdu);
+        let depth = p.queue.len();
+        p.max_depth = p.max_depth.max(depth as u64);
+        depth
+    }
+
+    /// The head of a port's FIFO.
+    pub fn front(&self, port: u16) -> Option<&SwitchedPdu> {
+        self.ports[port as usize].queue.front()
+    }
+
+    /// Pops the head of a port's FIFO (after a successful dispatch).
+    pub fn pop(&mut self, port: u16) -> Option<SwitchedPdu> {
+        let p = &mut self.ports[port as usize];
+        let pdu = p.queue.pop_front();
+        if pdu.is_some() {
+            p.dispatched += 1;
+        }
+        pdu
+    }
+
+    /// Output-port FIFO depth.
+    pub fn queue_len(&self, port: u16) -> usize {
+        self.ports[port as usize].queue.len()
+    }
+
+    /// When the port's egress link frees up.
+    pub fn busy_until(&self, port: u16) -> SimTime {
+        self.ports[port as usize].busy_until
+    }
+
+    /// Marks the port's egress link busy until `t`.
+    pub fn set_busy_until(&mut self, port: u16, t: SimTime) {
+        self.ports[port as usize].busy_until = t;
+    }
+
+    /// Attempts to reserve egress credits for `cells` cells on
+    /// `(port, vc)`; bumps the port's stall counter on failure.
+    pub fn try_consume_credits(&mut self, port: u16, vc: u32, cells: u32) -> bool {
+        let limit = self.port_credit;
+        let p = &mut self.ports[port as usize];
+        let ok = p
+            .credits
+            .entry(vc)
+            .or_insert_with(|| CreditState::new(limit))
+            .try_consume(cells);
+        if !ok {
+            p.credit_stalls += 1;
+        }
+        ok
+    }
+
+    /// Returns egress credits for `(port, vc)` (the attached host
+    /// drained its buffers). Saturates at the limit.
+    pub fn return_credits(&mut self, port: u16, vc: u32, cells: u32) {
+        let limit = self.port_credit;
+        self.ports[port as usize]
+            .credits
+            .entry(vc)
+            .or_insert_with(|| CreditState::new(limit))
+            .replenish(cells);
+    }
+
+    /// Egress credits currently available on `(port, vc)` (the full
+    /// limit when the VC has never been used).
+    pub fn credits_available(&self, port: u16, vc: u32) -> u32 {
+        self.ports[port as usize]
+            .credits
+            .get(&vc)
+            .map_or(self.port_credit, CreditState::available)
+    }
+
+    /// The per-(port, VC) egress credit limit.
+    pub fn port_credit(&self) -> u32 {
+        self.port_credit
+    }
+
+    /// PDUs dispatched from one port.
+    pub fn port_dispatched(&self, port: u16) -> u64 {
+        self.ports[port as usize].dispatched
+    }
+
+    /// Head-of-line credit stalls on one port.
+    pub fn port_credit_stalls(&self, port: u16) -> u64 {
+        self.ports[port as usize].credit_stalls
+    }
+
+    /// Deepest FIFO occupancy one port ever reached.
+    pub fn port_max_depth(&self, port: u16) -> u64 {
+        self.ports[port as usize].max_depth
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> SwitchStats {
+        let mut s = SwitchStats {
+            pdus_ingress: self.pdus_ingress,
+            pdus_replicated: self.pdus_replicated,
+            ..SwitchStats::default()
+        };
+        for p in &self.ports {
+            s.pdus_dispatched += p.dispatched;
+            s.credit_stalls += p.credit_stalls;
+            s.max_port_depth = s.max_port_depth.max(p.max_depth);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pdu(src: u16, vc: u32, token: u64) -> SwitchedPdu {
+        SwitchedPdu {
+            src,
+            vc,
+            payload: None,
+            cells: 2,
+            total: 96,
+            sent_at: SimTime::ZERO,
+            token,
+        }
+    }
+
+    #[test]
+    fn routes_resolve_and_missing_routes_are_empty() {
+        let sw = Switch::new(
+            &SwitchConfig::new(4, 64)
+                .route(0, 1, &[3])
+                .route(1, 2, &[2, 3]),
+        );
+        assert_eq!(sw.route(0, 1), &[3]);
+        assert_eq!(sw.route(1, 2), &[2, 3]);
+        assert!(sw.route(2, 9).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate route")]
+    fn duplicate_routes_are_rejected() {
+        Switch::new(&SwitchConfig::new(2, 64).route(0, 1, &[1]).route(0, 1, &[1]));
+    }
+
+    #[test]
+    fn port_fifo_preserves_order_and_tracks_depth() {
+        let mut sw = Switch::new(&SwitchConfig::new(2, 64).route(0, 1, &[1]));
+        sw.enqueue(1, pdu(0, 1, 10));
+        sw.enqueue(1, pdu(0, 1, 11));
+        assert_eq!(sw.queue_len(1), 2);
+        assert_eq!(sw.pop(1).unwrap().token, 10);
+        assert_eq!(sw.pop(1).unwrap().token, 11);
+        assert_eq!(sw.port_max_depth(1), 2);
+        assert_eq!(sw.port_dispatched(1), 2);
+    }
+
+    #[test]
+    fn egress_credits_consume_stall_and_replenish() {
+        let mut sw = Switch::new(&SwitchConfig::new(2, 3).route(0, 1, &[1]));
+        assert_eq!(sw.credits_available(1, 1), 3);
+        assert!(sw.try_consume_credits(1, 1, 3));
+        assert!(!sw.try_consume_credits(1, 1, 1));
+        assert_eq!(sw.port_credit_stalls(1), 1);
+        sw.return_credits(1, 1, 100);
+        assert_eq!(sw.credits_available(1, 1), 3, "saturates at the limit");
+    }
+
+    #[test]
+    fn star_and_chain_builders_route_one_sender_per_vc() {
+        let star = SwitchConfig::star(4, 0, 100, 64);
+        let sw = Switch::new(&star);
+        assert_eq!(sw.route(1, 101), &[0]);
+        assert_eq!(sw.route(0, 105), &[1]);
+        assert!(!star.has_multicast());
+        let chain = SwitchConfig::chain(4, 200, 64);
+        let sw = Switch::new(&chain);
+        assert_eq!(sw.route(0, 200), &[1]);
+        assert_eq!(sw.route(2, 202), &[3]);
+        assert!(sw.route(3, 203).is_empty());
+    }
+
+    #[test]
+    fn stats_aggregate_across_ports() {
+        let mut sw = Switch::new(&SwitchConfig::new(3, 1).route(0, 1, &[1, 2]));
+        sw.note_ingress(1);
+        sw.enqueue(1, pdu(0, 1, 10));
+        sw.enqueue(2, pdu(0, 1, 10));
+        assert!(sw.try_consume_credits(1, 1, 1));
+        assert!(!sw.try_consume_credits(1, 1, 2));
+        sw.pop(1);
+        let s = sw.stats();
+        assert_eq!(s.pdus_ingress, 1);
+        assert_eq!(s.pdus_replicated, 1);
+        assert_eq!(s.pdus_dispatched, 1);
+        assert_eq!(s.credit_stalls, 1);
+        assert_eq!(s.max_port_depth, 1);
+    }
+}

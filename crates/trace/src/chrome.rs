@@ -166,7 +166,7 @@ mod tests {
         );
         t.instant(Track::Events, "credit.stall", SimTime::from_us(3.0), 1);
         TraceSet {
-            owners: vec![("host A", t.take())],
+            owners: vec![("host A".to_string(), t.take())],
         }
     }
 
@@ -217,7 +217,7 @@ mod tests {
     fn empty_tracks_emit_no_metadata() {
         let set = TraceSet {
             owners: vec![(
-                "host A",
+                "host A".to_string(),
                 vec![TraceEvent {
                     track: Track::Wire,
                     name: "wire",

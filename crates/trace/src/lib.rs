@@ -325,11 +325,11 @@ impl Tracer {
 }
 
 /// The merged trace of one simulated world: one event list per
-/// timeline owner (host A, host B, the link).
+/// timeline owner (one per host, plus the link).
 #[derive(Clone, Debug, Default)]
 pub struct TraceSet {
     /// `(owner label, events)` in a stable order.
-    pub owners: Vec<(&'static str, Vec<TraceEvent>)>,
+    pub owners: Vec<(String, Vec<TraceEvent>)>,
 }
 
 impl TraceSet {
@@ -429,7 +429,7 @@ mod tests {
             1,
         );
         let set = TraceSet {
-            owners: vec![("host A", a.take())],
+            owners: vec![("host A".to_string(), a.take())],
         };
         assert_eq!(set.total_dur("Copyout"), SimTime::from_us(7.0));
         assert_eq!(set.total_dur("Copyin"), SimTime::ZERO);
