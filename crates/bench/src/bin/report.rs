@@ -313,14 +313,21 @@ fn main() {
     for (_name, text, _ms) in &rendered {
         println!("{text}\n");
     }
+    // `report fabric --metrics` is the flight-recorder view: rollup
+    // tables instead of the distribution exhibit. Plain `report
+    // --metrics` (the canonical two-host inspection) is untouched.
     if want_fabric {
-        println!("{}\n", gen::fabric_exhibit());
+        if want_metrics {
+            println!("{}", gen::fabric_metrics_report());
+        } else {
+            println!("{}\n", gen::fabric_exhibit());
+        }
     }
     if profile {
         let names: Vec<&str> = selected.iter().map(|(n, _)| *n).collect();
         print_profile(&names, &genie_runner::take_profile());
     }
-    if want_metrics {
+    if want_metrics && !want_fabric {
         print!("{}", gen::inspect::metrics_json());
     }
     if let Some(path) = &trace_path {
@@ -367,6 +374,24 @@ fn main() {
                 us,
                 if i + 1 < sims.len() { "," } else { "" }
             ));
+        }
+        if want_fabric {
+            // `report --json fabric` appends the fabric fan-in and
+            // host-rollup sections `--compare` diffs.
+            let (fabric, host) = gen::fabric_json_sections();
+            let flat = |out: &mut String, name: &str, rows: &[(String, f64)]| {
+                out.push_str(&format!("  }},\n  \"{name}\": {{\n"));
+                for (i, (label, v)) in rows.iter().enumerate() {
+                    out.push_str(&format!(
+                        "    \"{}\": {:.3}{}\n",
+                        json_escape(label),
+                        v,
+                        if i + 1 < rows.len() { "," } else { "" }
+                    ));
+                }
+            };
+            flat(&mut out, "fabric", &fabric);
+            flat(&mut out, "host_rollup", &host);
         }
         out.push_str("  }\n}\n");
         std::fs::write("BENCH_report.json", &out).expect("write BENCH_report.json");

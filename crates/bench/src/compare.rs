@@ -20,6 +20,11 @@ pub struct ReportSummary {
     pub exhibits: Vec<(String, f64)>,
     /// Per-semantics simulated 60 KB latency (µs), in file order.
     pub simulated_us: Vec<(String, f64)>,
+    /// Fabric fan-in suite rows (`report --json fabric`), in file
+    /// order: per-semantics p50/p99/stalls.
+    pub fabric: Vec<(String, f64)>,
+    /// Aggregate-over-hosts rollup rows (`report --json fabric`).
+    pub host_rollup: Vec<(String, f64)>,
 }
 
 /// Extracts the string value of a `"key": "value"` fragment on `line`.
@@ -41,10 +46,19 @@ fn num_field(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Which flat `"label": number` section the parser is inside.
+#[derive(Clone, Copy, PartialEq)]
+enum Section {
+    None,
+    Simulated,
+    Fabric,
+    HostRollup,
+}
+
 /// Parses the comparable fields out of a `report --json` document.
 pub fn parse_summary(json: &str) -> ReportSummary {
     let mut out = ReportSummary::default();
-    let mut in_simulated = false;
+    let mut section = Section::None;
     for line in json.lines() {
         if let Some(v) = num_field(line, "total_wall_ms") {
             out.total_wall_ms = Some(v);
@@ -53,20 +67,34 @@ pub fn parse_summary(json: &str) -> ReportSummary {
             out.exhibits.push((name.to_string(), ms));
         }
         if line.contains("\"simulated_latency_60kb_us\"") {
-            in_simulated = true;
+            section = Section::Simulated;
             continue;
         }
-        if in_simulated {
+        if line.contains("\"fabric\":") {
+            section = Section::Fabric;
+            continue;
+        }
+        if line.contains("\"host_rollup\":") {
+            section = Section::HostRollup;
+            continue;
+        }
+        if section != Section::None {
             let t = line.trim();
             if t.starts_with('}') {
-                in_simulated = false;
+                section = Section::None;
                 continue;
             }
             // `"label": 123.456,` — label first, value after the colon.
             if let Some(rest) = t.strip_prefix('"') {
                 if let Some((label, tail)) = rest.split_once("\": ") {
                     if let Ok(v) = tail.trim_end_matches(',').parse::<f64>() {
-                        out.simulated_us.push((label.to_string(), v));
+                        let dst = match section {
+                            Section::Simulated => &mut out.simulated_us,
+                            Section::Fabric => &mut out.fabric,
+                            Section::HostRollup => &mut out.host_rollup,
+                            Section::None => unreachable!(),
+                        };
+                        dst.push((label.to_string(), v));
                     }
                 }
             }
@@ -106,6 +134,48 @@ pub fn render_comparison(
             out.push_str(&format!("  {label:<22} {:>12} {bv:>12.3}\n", "absent"));
         }
     }
+    let flat_section =
+        |out: &mut String, title: &str, col: &str, av: &[(String, f64)], bv: &[(String, f64)]| {
+            if av.is_empty() && bv.is_empty() {
+                return;
+            }
+            out.push_str(&format!("\n{title}\n"));
+            out.push_str(&format!(
+                "  {:<28} {:>12} {:>12} {:>12} {:>9}\n",
+                col, "A", "B", "delta", "%"
+            ));
+            for (label, a) in av {
+                match bv.iter().find(|(l, _)| l == label) {
+                    Some((_, b)) => {
+                        let delta = b - a;
+                        let pct = if *a != 0.0 { delta / a * 100.0 } else { 0.0 };
+                        out.push_str(&format!(
+                            "  {label:<28} {a:>12.3} {b:>12.3} {delta:>+12.3} {pct:>+8.1}%\n"
+                        ));
+                    }
+                    None => out.push_str(&format!("  {label:<28} {a:>12.3} {:>12}\n", "absent")),
+                }
+            }
+            for (label, b) in bv {
+                if !av.iter().any(|(l, _)| l == label) {
+                    out.push_str(&format!("  {label:<28} {:>12} {b:>12.3}\n", "absent"));
+                }
+            }
+        };
+    flat_section(
+        &mut out,
+        "fabric fan-in (simulated, `report --json fabric`) — drift is behavioral",
+        "row",
+        &a.fabric,
+        &b.fabric,
+    );
+    flat_section(
+        &mut out,
+        "host rollup (aggregate over hosts, copy fan-in)",
+        "metric",
+        &a.host_rollup,
+        &b.host_rollup,
+    );
     out.push_str("\nwall clock (ms) — host time, noisy on shared machines\n");
     out.push_str(&format!(
         "  {:<22} {:>12} {:>12} {:>12} {:>9}\n",
@@ -196,6 +266,43 @@ mod tests {
             .find(|l| l.trim().starts_with("total"))
             .unwrap();
         assert!(total.contains("-50.0%"), "{total}");
+    }
+
+    // Committed `report --json fabric` snapshots: same shape the
+    // report binary emits, with the fabric and host_rollup sections.
+    const FIXTURE_A: &str = include_str!("../testdata/compare_fabric_a.json");
+    const FIXTURE_B: &str = include_str!("../testdata/compare_fabric_b.json");
+
+    #[test]
+    fn compares_fabric_and_host_rollup_sections() {
+        let a = parse_summary(FIXTURE_A);
+        let b = parse_summary(FIXTURE_B);
+        assert_eq!(a.fabric.len(), 6);
+        assert_eq!(a.fabric[0], ("rpc_fanin.copy.p50_us".to_string(), 118.25));
+        assert_eq!(a.host_rollup.len(), 3);
+        // The fabric section must not bleed into the simulated one.
+        assert_eq!(a.simulated_us.len(), 2);
+
+        let text = render_comparison("a.json", &a, "b.json", &b);
+        // p99 drifted down by 6.75 µs between the fixtures.
+        let p99 = text
+            .lines()
+            .find(|l| l.trim().starts_with("rpc_fanin.copy.p99_us"))
+            .expect("fabric row rendered");
+        assert!(p99.contains("-6.750"), "{p99}");
+        // Unchanged fabric rows show a zero delta.
+        let p50 = text
+            .lines()
+            .find(|l| l.trim().starts_with("rpc_fanin.copy.p50_us"))
+            .unwrap();
+        assert!(p50.contains("+0.000"), "{p50}");
+        // Host-rollup section renders with its own header.
+        assert!(text.contains("host rollup"), "{text}");
+        let busy = text
+            .lines()
+            .find(|l| l.trim().starts_with("busy_us"))
+            .unwrap();
+        assert!(busy.contains("-22.500"), "{busy}");
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! (which buffering semantics wins?) to the contended regime, where
 //! the answer is a distribution, not a point.
 
+use genie::suites::FabricObservation;
 use genie::{SuitePoint, ALL_SEMANTICS};
+use genie_trace::metrics::Metric;
 
 fn header(out: &mut String, title: &str) {
     out.push_str(&format!("## {title}\n"));
@@ -65,6 +67,129 @@ pub fn fabric_exhibit() -> String {
     let mcast = genie::suites::sweep(ALL_SEMANTICS, |s| genie::multicast_stream(s, 96, 16, 8192));
     rows(&mut out, &mcast);
     out
+}
+
+/// The observed fan-in every flight-recorder view is built from: an
+/// 8-host star (7 clients x 8 pipelined 2 KB requests into one server
+/// port) per semantics, with tracing, switch observation and per-VC
+/// latency capture on. Sampling and ring budget come from
+/// `GENIE_TRACE_SAMPLE` / `GENIE_TRACE_BUDGET`; all numbers are
+/// simulated, so the output is byte-identical at any thread count.
+fn observed_fanin() -> Vec<FabricObservation> {
+    genie_runner::map(ALL_SEMANTICS, |&s| {
+        genie::suites::rpc_fanin_observed(s, 7, 8, 2048)
+    })
+}
+
+/// Renders `report fabric --metrics`: per-semantics per-VC delivery
+/// p50/p99 (from the rollup layer's top-K circuits), the per-port
+/// stall/depth table, and the sampling ledger.
+pub fn fabric_metrics_report() -> String {
+    let obs = observed_fanin();
+    let mut out = String::from(
+        "# Fabric flight recorder: 8-host star fan-in, per-semantics rollups\n\
+         7 clients x 8 pipelined 2 KB requests -> 1 server port. Per-VC\n\
+         delivery latency from the rollup layer (top-K circuits); per-port\n\
+         queue depth and HOL credit stalls from switch observation.\n\n",
+    );
+    for o in &obs {
+        out.push_str(&format!("## {}\n", o.point.semantics.label()));
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>10} {:>10}\n",
+            "vc", "count", "p50_us", "p99_us"
+        ));
+        for (name, m) in o.metrics.iter() {
+            let Some(rest) = name.strip_prefix("vc.") else {
+                continue;
+            };
+            let Some(vc) = rest.strip_suffix(".latency_ns") else {
+                continue;
+            };
+            if let Metric::Histogram(h) = m {
+                out.push_str(&format!(
+                    "{:<10} {:>8} {:>10.1} {:>10.1}\n",
+                    vc,
+                    h.count(),
+                    h.quantile(0.5) as f64 / 1e3,
+                    h.quantile(0.99) as f64 / 1e3,
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>10} {:>10} {:>12}\n",
+            "port", "sent", "stalls", "depth_p50", "depth_max"
+        ));
+        let port_counter = |p: usize, field: &str| -> u64 {
+            o.metrics.counter(&format!("switch.port_{p}.{field}"))
+        };
+        for p in 0.. {
+            let key = format!("switch.port_{p}.dispatched");
+            if o.metrics.get(&key).is_none() {
+                break;
+            }
+            let (depth_p50, depth_max) = match o.metrics.get(&format!("switch.port_{p}.depth")) {
+                Some(Metric::Histogram(h)) => (h.quantile(0.5), h.max()),
+                _ => (0, 0),
+            };
+            out.push_str(&format!(
+                "{:<10} {:>8} {:>10} {:>10} {:>12}\n",
+                p,
+                port_counter(p, "dispatched"),
+                port_counter(p, "credit_stalls"),
+                depth_p50,
+                depth_max,
+            ));
+        }
+        let kept: usize = o.trace.owners.iter().map(|(_, evs)| evs.len()).sum();
+        out.push_str(&format!(
+            "trace: {} events kept, {} spans sampled out\n\n",
+            kept,
+            o.trace.dropped_spans_total(),
+        ));
+    }
+    out
+}
+
+/// One flat `"label": number` JSON section, in emission order.
+pub type FlatRows = Vec<(String, f64)>;
+
+/// Flat numeric sections for `report --json fabric`: the `"fabric"`
+/// per-semantics fan-in distribution and the `"host_rollup"`
+/// aggregate-over-hosts rollup (from the canonical `copy` run) —
+/// the two sections `report --compare` diffs.
+pub fn fabric_json_sections() -> (FlatRows, FlatRows) {
+    let obs = observed_fanin();
+    let mut fabric = Vec::new();
+    for o in &obs {
+        let label = o.point.semantics.label();
+        fabric.push((
+            format!("rpc_fanin.{label}.p50_us"),
+            o.point.dist.p50.as_us(),
+        ));
+        fabric.push((
+            format!("rpc_fanin.{label}.p99_us"),
+            o.point.dist.p99.as_us(),
+        ));
+        fabric.push((
+            format!("rpc_fanin.{label}.credit_stalls"),
+            o.point.switch.credit_stalls as f64,
+        ));
+    }
+    let mut host = Vec::new();
+    if let Some(o) = obs.first() {
+        for (name, m) in o.metrics.iter() {
+            let Some(rest) = name.strip_prefix("rollup.host.") else {
+                continue;
+            };
+            let v = match m {
+                Metric::Counter(c) => *c as f64,
+                Metric::Gauge(g) => *g,
+                Metric::Histogram(h) => h.count() as f64,
+            };
+            host.push((rest.to_string(), v));
+        }
+    }
+    (fabric, host)
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@ pub mod fabric;
 pub mod inspect;
 pub mod timing;
 
-pub use fabric::fabric_exhibit;
+pub use fabric::{fabric_exhibit, fabric_json_sections, fabric_metrics_report};
 
 use genie::oplists::{self, OpUse, Scale};
 use genie::{

@@ -41,6 +41,7 @@ impl World {
         total: usize,
         sent_at: SimTime,
         token: u64,
+        seq: u32,
     ) {
         // The switch has buffered the cells, so the uplink credits go
         // back to the sender; the credit-return message crosses the
@@ -86,7 +87,10 @@ impl World {
                     total,
                     sent_at,
                     token,
+                    seq,
+                    ingress_at: time,
                 },
+                time,
             );
             if depth == 1 {
                 // The port was idle: start draining. A non-empty port
@@ -119,7 +123,7 @@ impl World {
                 port,
                 sw.port_credit()
             );
-            if !sw.try_consume_credits(port, vc, cells as u32) {
+            if !sw.try_consume_credits(port, vc, cells as u32, time) {
                 // Head-of-line stall: the whole port waits (which is
                 // what keeps per-VC order intact across the hop).
                 // Credit returns wake the port directly; this retry
@@ -128,15 +132,29 @@ impl World {
                     .push(time + SimTime::from_us(50.0), Event::PortDrain { port });
                 return;
             }
-            let pdu = sw.pop(port).expect("head just inspected");
+            let pdu = sw.pop(port, time).expect("head just inspected");
             let wire_start = time.max(sw.busy_until(port));
             let wire_done = wire_start + self.link.wire_time(total);
             sw.set_busy_until(port, wire_done);
 
             let to = HostId(port);
+            let seq = pdu.seq;
+            let ingress_at = pdu.ingress_at;
             let dev_rx = self.hosts[to.idx()].charge_overlapped(Op::DeviceFixedRecv, 0, 0);
             let tracer = &mut self.hosts[to.idx()].tracer;
             if tracer.enabled() {
+                tracer.set_flow(vc, seq);
+                // Switch residency: queueing plus credit-stall time in
+                // the output-port FIFO, from ingress to the moment the
+                // egress wire starts serializing this PDU.
+                tracer.span(
+                    genie_trace::Track::Events,
+                    "switch.residency",
+                    ingress_at,
+                    wire_start.saturating_sub(ingress_at),
+                    total,
+                    cells,
+                );
                 tracer.span(
                     genie_trace::Track::Wire,
                     "wire switch\u{2192}host",
@@ -145,6 +163,7 @@ impl World {
                     total,
                     cells,
                 );
+                tracer.clear_flow();
             }
             let arrival = wire_done + self.link.fixed_latency + dev_rx;
             match pdu.payload {

@@ -178,6 +178,13 @@ impl World {
         self.fault.oracle.as_ref()
     }
 
+    /// Mutable access to the invariant oracle. Crash-dump tests use
+    /// this to plant a bogus promised fingerprint and force a
+    /// violation on an otherwise healthy run.
+    pub fn oracle_mut(&mut self) -> Option<&mut Oracle> {
+        self.fault.oracle.as_mut()
+    }
+
     /// Fault-injection and recovery counters for this world.
     pub fn fault_stats(&self) -> FaultStats {
         self.fault.stats
@@ -300,6 +307,8 @@ impl World {
         };
         let (from, vc, cells, sent_at) = (inf.from, inf.vc, inf.cells, inf.sent_at);
         let total = inf.bytes.len();
+        // Flow identity travels in the stored wire image's header.
+        let seq = genie_net::DatagramHeader::decode(&inf.bytes).map_or(0, |h| h.seq);
         if !self.hosts[from.idx()]
             .adapter
             .try_send_credits(vc, cells as u32)
@@ -354,6 +363,7 @@ impl World {
                     total,
                     sent_at,
                     token,
+                    seq,
                 }
             } else {
                 Event::Arrive {
@@ -376,6 +386,7 @@ impl World {
                     total,
                     sent_at,
                     token,
+                    seq,
                 }
             } else {
                 Event::ArriveDamaged {

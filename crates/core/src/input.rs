@@ -369,12 +369,17 @@ impl World {
         sent_at: SimTime,
     ) -> bool {
         let header = DatagramHeader::decode(payload).expect("header fits");
+        // Flow identity for the sampling layer: the whole ready +
+        // dispose pipeline of this PDU is kept or sampled as one unit.
+        if self.hosts[to.idx()].tracer.enabled() {
+            self.hosts[to.idx()].tracer.set_flow(vc.0, header.seq);
+        }
         let pending = self.recvs[to.idx()]
             .get_mut(u64::from(vc.0))
             .and_then(VecDeque::pop_front);
         let ready_start = self.host(to).clock;
 
-        match pending {
+        let delivered = match pending {
             Some(p) => match self.place_for_pending(to, &p, payload) {
                 Some(placed) => {
                     self.trace_ready_span(to, ready_start, payload.len());
@@ -405,7 +410,9 @@ impl World {
                     None => false,
                 }
             }
-        }
+        };
+        self.hosts[to.idx()].tracer.clear_flow();
+        delivered
     }
 
     /// Records the "input.ready" phase span covering the ready-stage
@@ -661,6 +668,14 @@ impl World {
                     0,
                 );
             }
+        }
+        // Per-VC latency rollup (tracing-gated so the untraced fast
+        // path never touches the map).
+        if self.wire_tracer.enabled() {
+            self.vc_latency
+                .entry(u32::from(header.src_port))
+                .or_default()
+                .record(completed_at.saturating_sub(sent_at).0 / 1_000);
         }
         self.done_recvs.push(RecvCompletion {
             token: p.token,

@@ -52,6 +52,7 @@
 
 pub mod align;
 pub mod config;
+pub mod crashdump;
 pub mod error;
 pub mod experiment;
 pub(crate) mod fabric;
@@ -75,11 +76,14 @@ pub use experiment::{
 };
 pub use genie_trace::chrome::ChromeTrace;
 pub use genie_trace::metrics::{Histogram, Metric, MetricsRegistry};
-pub use genie_trace::{TraceEvent, TraceSet, Tracer, Track};
+pub use genie_trace::{SampleConfig, TraceEvent, TraceSet, Tracer, Track};
 pub use host::Host;
 pub use input::{InputRequest, RecvCompletion};
 pub use observe::{ObservableState, RegionObservation};
 pub use output::{OutputRequest, SendCompletion};
 pub use semantics::{Allocation, Integrity, Semantics};
-pub use suites::{cluster_reduce, multicast_stream, rpc_fanin, SuitePoint, ALL_SEMANTICS};
+pub use suites::{
+    cluster_reduce, multicast_stream, rpc_fanin, rpc_fanin_observed, rpc_fanin_observed_with,
+    FabricObservation, SuitePoint, ALL_SEMANTICS,
+};
 pub use world::{Fabric, HostId, World, WorldConfig};

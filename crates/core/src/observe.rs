@@ -10,11 +10,21 @@
 
 use genie_machine::Op;
 use genie_mem::Fnv64;
-use genie_trace::metrics::MetricsRegistry;
-use genie_trace::TraceSet;
+use genie_trace::metrics::{Histogram, MetricsRegistry};
+use genie_trace::{SampleConfig, TraceSet};
 use genie_vm::{PagePeek, RegionMark, SpaceId};
 
-use crate::world::{HostId, World};
+use crate::world::{FabricState, HostId, World};
+
+/// Owner id the wire tracer uses in the flow-selection hash (disjoint
+/// from any host index).
+const WIRE_SAMPLE_OWNER: u32 = u32::MAX;
+
+/// How many VCs get individual `vc.<n>.latency_ns` rollup entries;
+/// the rest merge into `vc.other.latency_ns`. Selection is by sample
+/// count (ties broken by VC number), so the busiest circuits of a
+/// fan-in suite surface first.
+pub const TOP_K_VCS: usize = 16;
 
 /// One region of one address space, as an application could observe
 /// it: geometry, move-state mark, and a digest of the bytes every page
@@ -54,12 +64,31 @@ pub struct ObservableState {
 
 impl World {
     /// Enables (or disables) structured tracing on every host and the
-    /// link.
+    /// link. Enabling also applies the environment's sampling policy
+    /// (`GENIE_TRACE_SAMPLE` / `GENIE_TRACE_BUDGET`) and, in switched
+    /// worlds, turns on switch port observation.
     pub fn enable_tracing(&mut self, on: bool) {
+        if on {
+            self.set_sampling(&SampleConfig::from_env());
+        }
         for h in &mut self.hosts {
             h.tracer.set_enabled(on);
         }
         self.wire_tracer.set_enabled(on);
+        if let FabricState::Switched(sw) = &mut self.fabric {
+            sw.set_observe(on);
+        }
+    }
+
+    /// Applies a flight-recorder sampling policy to every tracer.
+    /// Each host samples with its own index as the hash owner, so the
+    /// kept flows differ per host but are a pure function of the
+    /// configuration — byte-identical across thread counts.
+    pub fn set_sampling(&mut self, cfg: &SampleConfig) {
+        for (i, h) in self.hosts.iter_mut().enumerate() {
+            h.tracer.set_sampling(i as u32, cfg);
+        }
+        self.wire_tracer.set_sampling(WIRE_SAMPLE_OWNER, cfg);
     }
 
     /// Whether tracing is currently enabled.
@@ -73,12 +102,24 @@ impl World {
     /// spans, so the per-port timelines ride on the host owners.
     pub fn take_trace(&mut self) -> TraceSet {
         let mut owners = Vec::with_capacity(self.hosts.len() + 1);
+        let mut dropped = Vec::new();
         for i in 0..self.hosts.len() {
             let name = self.fault.site_names[i].clone();
+            let sampled_out = self.hosts[i].tracer.dropped_spans_total();
+            if sampled_out > 0 {
+                dropped.push((name.clone(), sampled_out));
+            }
             owners.push((name, self.hosts[i].tracer.take()));
         }
+        let wire_dropped = self.wire_tracer.dropped_spans_total();
+        if wire_dropped > 0 {
+            dropped.push(("link".to_string(), wire_dropped));
+        }
         owners.push(("link".to_string(), self.wire_tracer.take()));
-        TraceSet { owners }
+        TraceSet {
+            owners,
+            dropped_spans: dropped,
+        }
     }
 
     /// Builds the unified metrics registry: per-host ledger statistics
@@ -109,6 +150,10 @@ impl World {
                 r.set_counter(&format!("{prefix}.ops.{name}.count"), s.count);
                 r.set_counter(&format!("{prefix}.ops.{name}.bytes"), s.bytes);
                 r.set_gauge(&format!("{prefix}.ops.{name}.total_us"), s.total.as_us());
+                let dropped = h.ledger.samples_dropped_for(op);
+                if dropped > 0 {
+                    r.set_counter(&format!("{prefix}.ops.{name}.samples_dropped"), dropped);
+                }
             }
             let a = h.adapter.stats();
             r.set_counter(&format!("{prefix}.adapter.pdus_received"), a.pdus_received);
@@ -194,8 +239,52 @@ impl World {
                     &format!("switch.port_{port}.max_depth"),
                     sw.port_max_depth(port),
                 );
+                if sw.observing() {
+                    let series = sw.port_series(port);
+                    if series.depth.count() > 0 {
+                        r.set_histogram(&format!("switch.port_{port}.depth"), series.depth.clone());
+                    }
+                    if series.credit_occupancy.count() > 0 {
+                        r.set_histogram(
+                            &format!("switch.port_{port}.credit_occupancy"),
+                            series.credit_occupancy.clone(),
+                        );
+                    }
+                    if series.points_dropped > 0 {
+                        r.set_counter(
+                            &format!("switch.port_{port}.series_points_dropped"),
+                            series.points_dropped,
+                        );
+                    }
+                }
             }
+            r.rollup("switch.port_", "rollup.port");
         }
+        // Per-VC delivery-latency rollups (recorded while tracing):
+        // the busiest TOP_K_VCS circuits individually, the rest merged.
+        if !self.vc_latency.is_empty() {
+            let mut by_count: Vec<(&u32, &Histogram)> = self.vc_latency.iter().collect();
+            by_count.sort_by(|a, b| b.1.count().cmp(&a.1.count()).then(a.0.cmp(b.0)));
+            let mut other = Histogram::new();
+            let mut others = 0u64;
+            for (i, (vc, h)) in by_count.iter().enumerate() {
+                if i < TOP_K_VCS {
+                    r.set_histogram(&format!("vc.{vc}.latency_ns"), (*h).clone());
+                } else {
+                    other.merge(h);
+                    others += 1;
+                }
+            }
+            r.set_counter("vc.tracked", self.vc_latency.len() as u64);
+            if others > 0 {
+                r.set_counter("vc.other.circuits", others);
+                r.set_histogram("vc.other.latency_ns", other);
+            }
+            r.rollup("vc.", "rollup.vc");
+        }
+        // Per-host rollup: fabric-scale worlds have too many host_*
+        // keys to eyeball; two-host worlds get it for free.
+        r.rollup("host_", "rollup.host");
         r
     }
 

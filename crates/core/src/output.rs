@@ -91,6 +91,12 @@ impl World {
         let invoked_at = self.host(from).clock;
         let effective = self.effective_output_semantics(req.semantics, req.len);
         let seq = self.next_seq(req.vc);
+        // Flow identity for the sampling layer: every span recorded on
+        // this host until the prepare phase closes belongs to
+        // `(vc, seq)` and is kept or sampled out as one unit.
+        if self.hosts[from.idx()].tracer.enabled() {
+            self.hosts[from.idx()].tracer.set_flow(req.vc.0, seq);
+        }
 
         // Fixed OS path: system call, socket/protocol layers.
         self.host_mut(from).charge_latency(Op::OsFixedSend, 0, 0);
@@ -168,6 +174,7 @@ impl World {
                     req.len,
                     0,
                 );
+                host.tracer.clear_flow();
             }
         }
         self.txq[from.idx()]
@@ -319,9 +326,13 @@ impl World {
         let send = self.send(token).expect("pending send");
         let from = send.from;
         let vc = send.vc;
+        let seq = send.header.seq;
         let sent_at = send.invoked_at;
         let total = send.len + HEADER_LEN;
         let cells = cells_for_payload(total);
+        if self.hosts[from.idx()].tracer.enabled() {
+            self.hosts[from.idx()].tracer.set_flow(vc.0, seq);
+        }
 
         if self.fault.plan.active() {
             self.maybe_starve_credits(time, from, vc);
@@ -340,6 +351,7 @@ impl World {
             }
             let retry = time + SimTime::from_us(50.0);
             self.events.push(retry, Event::Transmit { token });
+            self.hosts[from.idx()].tracer.clear_flow();
             return false;
         }
 
@@ -384,6 +396,7 @@ impl World {
             } else {
                 "wire B\u{2192}A"
             };
+            self.wire_tracer.set_flow(vc.0, seq);
             self.wire_tracer.span(
                 genie_trace::Track::Wire,
                 name,
@@ -392,6 +405,7 @@ impl World {
                 total,
                 cells,
             );
+            self.wire_tracer.clear_flow();
         }
         // In a passthrough world this is the arrival at the peer; in a
         // switched world, the arrival at the switch's ingress.
@@ -447,6 +461,7 @@ impl World {
                             total,
                             sent_at,
                             token,
+                            seq,
                         }
                     } else {
                         Event::ArriveDamaged {
@@ -458,6 +473,7 @@ impl World {
                     };
                     self.events.push(arrival, ev);
                     self.events.push(txdone, Event::TxDone { token });
+                    self.hosts[from.idx()].tracer.clear_flow();
                     return true;
                 }
             }
@@ -472,6 +488,7 @@ impl World {
                 total,
                 sent_at,
                 token,
+                seq,
             }
         } else {
             Event::Arrive {
@@ -484,6 +501,7 @@ impl World {
         };
         self.events.push(arrival, ev);
         self.events.push(txdone, Event::TxDone { token });
+        self.hosts[from.idx()].tracer.clear_flow();
         true
     }
 
@@ -500,6 +518,9 @@ impl World {
         // afterwards.
         host.clock = host.clock.max(time);
         let dispose_start = host.clock;
+        if host.tracer.enabled() {
+            host.tracer.set_flow(send.vc.0, send.header.seq);
+        }
         match send.effective {
             Semantics::Copy => {
                 host.charge_latency(Op::SysBufDeallocate, 0, 0);
@@ -567,6 +588,7 @@ impl World {
                     send.len,
                     0,
                 );
+                host.tracer.clear_flow();
             }
         }
         self.done_sends.push(SendCompletion {

@@ -163,11 +163,74 @@ fn check_and_collect(
     latencies
 }
 
+/// An observed suite run: the usual [`SuitePoint`] plus everything
+/// the flight recorder captured — the unified metrics registry (with
+/// per-host, per-port and per-VC rollups) and the sampled trace. Only
+/// [`rpc_fanin_observed`] pays for this; the plain suites stay
+/// instrumentation-free.
+#[derive(Debug)]
+pub struct FabricObservation {
+    /// The suite result, identical to the unobserved run's.
+    pub point: SuitePoint,
+    /// Unified metrics at quiesce (rollups included).
+    pub metrics: genie_trace::metrics::MetricsRegistry,
+    /// The sampled trace, with its dropped-span ledger.
+    pub trace: genie_trace::TraceSet,
+}
+
 /// RPC fan-in: `clients` clients each fire `requests` pipelined
 /// requests of `bytes` at one server behind a star switch. All client
 /// VCs converge on the server's switch port, so requests contend in
 /// its output FIFO and egress credit loop.
 pub fn rpc_fanin(semantics: Semantics, clients: u16, requests: usize, bytes: usize) -> SuitePoint {
+    rpc_fanin_world(semantics, clients, requests, bytes, None).0
+}
+
+/// [`rpc_fanin`] with the flight recorder on: tracing (sampled per
+/// `GENIE_TRACE_SAMPLE` / bounded per `GENIE_TRACE_BUDGET`), switch
+/// port observation and per-VC latency capture. Instrumentation is
+/// observation-only, so the returned [`SuitePoint`] is byte-identical
+/// to the unobserved run's.
+pub fn rpc_fanin_observed(
+    semantics: Semantics,
+    clients: u16,
+    requests: usize,
+    bytes: usize,
+) -> FabricObservation {
+    rpc_fanin_observed_with(
+        semantics,
+        clients,
+        requests,
+        bytes,
+        &genie_trace::SampleConfig::from_env(),
+    )
+}
+
+/// [`rpc_fanin_observed`] with an explicit sampling configuration —
+/// the determinism and flight-recorder tests use this so they never
+/// depend on (or race over) process environment.
+pub fn rpc_fanin_observed_with(
+    semantics: Semantics,
+    clients: u16,
+    requests: usize,
+    bytes: usize,
+    cfg: &genie_trace::SampleConfig,
+) -> FabricObservation {
+    let (point, mut w) = rpc_fanin_world(semantics, clients, requests, bytes, Some(cfg));
+    FabricObservation {
+        point,
+        metrics: w.metrics(),
+        trace: w.take_trace(),
+    }
+}
+
+fn rpc_fanin_world(
+    semantics: Semantics,
+    clients: u16,
+    requests: usize,
+    bytes: usize,
+    observe: Option<&genie_trace::SampleConfig>,
+) -> (SuitePoint, World) {
     const VC_BASE: u32 = 100;
     let ports = clients + 1;
     // 128 cells of egress credit per (port, VC): a ~44-cell request
@@ -180,6 +243,10 @@ pub fn rpc_fanin(semantics: Semantics, clients: u16, requests: usize, bytes: usi
         ports as usize,
         sw,
     ));
+    if let Some(cfg) = observe {
+        w.enable_tracing(true);
+        w.set_sampling(cfg);
+    }
     let server = w.create_process(HostId(0));
     let procs: Vec<SpaceId> = (1..=clients).map(|i| w.create_process(HostId(i))).collect();
 
@@ -214,11 +281,12 @@ pub fn rpc_fanin(semantics: Semantics, clients: u16, requests: usize, bytes: usi
     w.run();
     let latencies = check_and_collect(&mut w, &expected, bytes);
     assert_fabric_quiesced(&w);
-    SuitePoint {
+    let point = SuitePoint {
         semantics,
         dist: LatencyDistribution::from_samples(&latencies).expect("samples"),
         switch: w.switch_stats().expect("switched"),
-    }
+    };
+    (point, w)
 }
 
 /// N-node reduce: each of `nodes - 1` leaves ships a vector of

@@ -181,6 +181,8 @@ pub(crate) enum Event {
         total: usize,
         sent_at: SimTime,
         token: u64,
+        /// Per-VC sequence number (flow identity for sampling).
+        seq: u32,
     },
     /// Dispatch the head of a switch output port's FIFO (port index ==
     /// destination host index); only raised by switched fabrics.
@@ -269,6 +271,14 @@ pub struct World {
     /// World-level tracer for link occupancy (per-host work is traced
     /// by each host's own tracer).
     pub(crate) wire_tracer: genie_trace::Tracer,
+    /// End-to-end delivery latency per VC (nanoseconds), recorded at
+    /// input completion while tracing — the raw material for the
+    /// per-VC rollups. BTreeMap so iteration (and the metrics JSON) is
+    /// deterministic.
+    pub(crate) vc_latency: std::collections::BTreeMap<u32, genie_trace::metrics::Histogram>,
+    /// Whether a crash dump was already written for this world (one
+    /// dump per run: the first violation is the interesting one).
+    pub(crate) crash_dumped: bool,
 }
 
 impl World {
@@ -331,6 +341,8 @@ impl World {
             force_cells: false,
             fault: crate::faults::FaultState::new(cfg.fault, n),
             wire_tracer: genie_trace::Tracer::new(),
+            vc_latency: std::collections::BTreeMap::new(),
+            crash_dumped: false,
         }
     }
 
@@ -627,7 +639,8 @@ impl World {
                     total,
                     sent_at,
                     token,
-                } => self.on_switch_ingress(time, from, vc, pdu, cells, total, sent_at, token),
+                    seq,
+                } => self.on_switch_ingress(time, from, vc, pdu, cells, total, sent_at, token, seq),
                 Event::PortDrain { port } => self.on_port_drain(time, port),
             }
             if self.fault.plan.active() {
@@ -635,6 +648,7 @@ impl World {
             }
             if self.fault.oracle.is_some() {
                 self.oracle_sweep();
+                self.maybe_crash_dump(time);
             }
         }
     }

@@ -50,7 +50,10 @@ pub struct CostLedger {
     recording: bool,
     busy: SimTime,
     sample_cap: usize,
-    samples_dropped: u64,
+    /// Samples discarded at the cap, per operation (indexed by
+    /// [`Op::id`]) so `--metrics` can say *which* op's fit data is
+    /// incomplete rather than one anonymous total.
+    samples_dropped: Vec<u64>,
 }
 
 /// Default bound on recorded samples per ledger. Generous enough that
@@ -69,7 +72,7 @@ impl CostLedger {
             recording: false,
             busy: SimTime::ZERO,
             sample_cap: DEFAULT_SAMPLE_CAP,
-            samples_dropped: 0,
+            samples_dropped: vec![0; Op::ALL.len()],
         }
     }
 
@@ -87,7 +90,7 @@ impl CostLedger {
     /// so one ledger can record several measurement windows.
     pub fn clear_samples(&mut self) {
         self.samples.clear();
-        self.samples_dropped = 0;
+        self.samples_dropped.fill(0);
     }
 
     /// Bounds the number of samples kept while recording. Charges past
@@ -103,9 +106,15 @@ impl CostLedger {
         self.sample_cap
     }
 
-    /// Number of samples discarded because the cap was reached.
+    /// Number of samples discarded because the cap was reached,
+    /// across all operations.
     pub fn samples_dropped(&self) -> u64 {
-        self.samples_dropped
+        self.samples_dropped.iter().sum()
+    }
+
+    /// Samples discarded at the cap for one operation.
+    pub fn samples_dropped_for(&self, op: Op) -> u64 {
+        self.samples_dropped[op.id() as usize]
     }
 
     /// Charges one invocation of `op` over `bytes` bytes / `units`
@@ -130,7 +139,7 @@ impl CostLedger {
                     cost,
                 });
             } else {
-                self.samples_dropped += 1;
+                self.samples_dropped[op.id() as usize] += 1;
             }
         }
         cost
@@ -169,7 +178,7 @@ impl CostLedger {
             *s = OpStats::default();
         }
         self.samples.clear();
-        self.samples_dropped = 0;
+        self.samples_dropped.fill(0);
         self.busy = SimTime::ZERO;
     }
 }
@@ -233,6 +242,24 @@ mod tests {
         assert_eq!(l.stats(Op::Copyout).count, 5);
         l.clear_samples();
         assert_eq!(l.samples_dropped(), 0);
+    }
+
+    #[test]
+    fn samples_dropped_is_attributed_per_op() {
+        let mut l = ledger();
+        l.set_sample_cap(1);
+        l.record_samples(true);
+        l.charge(Op::Copyout, 100, 1); // retained
+        l.charge(Op::Copyout, 100, 1); // dropped
+        l.charge(Op::Copyin, 100, 1); // dropped
+        l.charge(Op::Wire, 4096, 1); // dropped
+        assert_eq!(l.samples_dropped(), 3);
+        assert_eq!(l.samples_dropped_for(Op::Copyout), 1);
+        assert_eq!(l.samples_dropped_for(Op::Copyin), 1);
+        assert_eq!(l.samples_dropped_for(Op::Wire), 1);
+        assert_eq!(l.samples_dropped_for(Op::Reference), 0);
+        l.reset();
+        assert_eq!(l.samples_dropped_for(Op::Copyout), 0);
     }
 
     #[test]

@@ -39,6 +39,10 @@ pub struct Divergence {
     /// Chrome trace JSON of the failing run (only with
     /// `GENIE_MODEL_TRACE` set).
     pub trace_json: Option<String>,
+    /// Flight-recorder crash dump of the failing run (last trace
+    /// events, metrics snapshot, switch series) — always captured, so
+    /// the counterexample ships with its runtime state.
+    pub dump_json: Option<String>,
 }
 
 /// Deterministic summary of one passing scenario, used by the
@@ -135,6 +139,11 @@ pub fn run_scenario(sc: &Scenario, bug: ModelBug) -> Result<RunStats, Divergence
 
     let fail = |w: &mut World, step: usize, op: ModelOp, detail: String| -> Divergence {
         w.note_model_divergence(step);
+        // Snapshot the dump before the Chrome export drains the rings.
+        let dump_json = Some(w.crash_dump_json(
+            &format!("model divergence at step {step}: {detail}"),
+            w.now(),
+        ));
         let trace_json = if tracing {
             let mut ct = ChromeTrace::new();
             ct.add_process(
@@ -150,6 +159,7 @@ pub fn run_scenario(sc: &Scenario, bug: ModelBug) -> Result<RunStats, Divergence
             op: format!("{op:?}"),
             detail,
             trace_json,
+            dump_json,
         }
     };
 
@@ -555,9 +565,10 @@ impl std::fmt::Display for FailureReport {
     }
 }
 
-/// Writes the shrunk counterexample as a replayable `.ops` file (plus
-/// the Chrome trace when one was captured). Directory:
-/// `GENIE_MODEL_CE_DIR`, default `target/model-counterexamples`.
+/// Writes the shrunk counterexample as a replayable `.ops` file, its
+/// flight-recorder crash dump (`{stem}.dump.json`), plus the Chrome
+/// trace when one was captured. Directory: `GENIE_MODEL_CE_DIR`,
+/// default `target/model-counterexamples`.
 pub fn emit_counterexample(minimal: &Scenario, div: &Divergence) -> Option<PathBuf> {
     let dir = std::env::var("GENIE_MODEL_CE_DIR")
         .unwrap_or_else(|_| "target/model-counterexamples".into());
@@ -577,6 +588,9 @@ pub fn emit_counterexample(minimal: &Scenario, div: &Divergence) -> Option<PathB
     std::fs::write(&path, body).ok()?;
     if let Some(json) = &div.trace_json {
         let _ = std::fs::write(PathBuf::from(&dir).join(format!("{stem}.trace.json")), json);
+    }
+    if let Some(json) = &div.dump_json {
+        let _ = std::fs::write(PathBuf::from(&dir).join(format!("{stem}.dump.json")), json);
     }
     Some(path)
 }

@@ -24,6 +24,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use genie_machine::SimTime;
+use genie_trace::metrics::Histogram;
 
 use crate::aal5::WirePdu;
 use crate::credit::CreditState;
@@ -125,6 +126,70 @@ pub struct SwitchedPdu {
     pub sent_at: SimTime,
     /// Originating output token.
     pub token: u64,
+    /// End-to-end per-VC sequence number (flow identity for trace
+    /// sampling and per-hop span correlation).
+    pub seq: u32,
+    /// When the PDU entered this switch's output FIFO — start of its
+    /// switch-residency span.
+    pub ingress_at: SimTime,
+}
+
+/// What a recorded [`PortPoint`] measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortSampleKind {
+    /// Output-FIFO depth after an enqueue or dispatch.
+    Depth,
+    /// Egress credits available on the head VC after a reservation.
+    CreditOccupancy,
+    /// A head-of-line credit stall (value = cells the head needed).
+    HolStall,
+}
+
+/// One timestamped observation on an output port's time series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PortPoint {
+    /// Simulated time of the observation.
+    pub at: SimTime,
+    /// What was measured.
+    pub kind: PortSampleKind,
+    /// The measurement.
+    pub value: u64,
+}
+
+/// Bound on retained [`PortPoint`]s per port: a fabric-scale run emits
+/// hundreds of thousands of port events; the series keeps the most
+/// recent window (flight-recorder style) and counts the rest.
+pub const PORT_SERIES_CAP: usize = 256;
+
+/// Per-port observation state: bounded recent time series plus
+/// full-run depth and credit-occupancy histograms (fixed-size, so the
+/// memory bound holds regardless of run length).
+#[derive(Clone, Debug, Default)]
+pub struct PortSeries {
+    /// Most recent observations, oldest first, at most
+    /// [`PORT_SERIES_CAP`].
+    pub recent: VecDeque<PortPoint>,
+    /// Observations evicted from `recent`.
+    pub points_dropped: u64,
+    /// Distribution of FIFO depth over every enqueue/dispatch.
+    pub depth: Histogram,
+    /// Distribution of available egress credits at reservation time.
+    pub credit_occupancy: Histogram,
+}
+
+impl PortSeries {
+    fn record(&mut self, at: SimTime, kind: PortSampleKind, value: u64) {
+        match kind {
+            PortSampleKind::Depth => self.depth.record(value),
+            PortSampleKind::CreditOccupancy => self.credit_occupancy.record(value),
+            PortSampleKind::HolStall => {}
+        }
+        if self.recent.len() >= PORT_SERIES_CAP {
+            self.recent.pop_front();
+            self.points_dropped += 1;
+        }
+        self.recent.push_back(PortPoint { at, kind, value });
+    }
 }
 
 /// Per-output-port state and counters.
@@ -142,6 +207,8 @@ struct Port {
     credit_stalls: u64,
     /// Deepest FIFO occupancy observed.
     max_depth: u64,
+    /// Observation series (populated only while observing).
+    series: PortSeries,
 }
 
 /// Aggregate switch counters (sums over ports plus ingress counts).
@@ -167,6 +234,8 @@ pub struct Switch {
     port_credit: u32,
     pdus_ingress: u64,
     pdus_replicated: u64,
+    /// When set, port events feed each port's [`PortSeries`].
+    observe: bool,
 }
 
 impl Switch {
@@ -197,7 +266,25 @@ impl Switch {
             port_credit: cfg.port_credit,
             pdus_ingress: 0,
             pdus_replicated: 0,
+            observe: false,
         }
+    }
+
+    /// Enables or disables port observation. Observation only records
+    /// state the event loop already computes, so it cannot perturb
+    /// timing or routing — traces with it on and off are comparable.
+    pub fn set_observe(&mut self, on: bool) {
+        self.observe = on;
+    }
+
+    /// Whether port observation is on.
+    pub fn observing(&self) -> bool {
+        self.observe
+    }
+
+    /// One port's observation series (empty unless observing).
+    pub fn port_series(&self, port: u16) -> &PortSeries {
+        &self.ports[port as usize].series
     }
 
     /// Number of ports.
@@ -217,12 +304,17 @@ impl Switch {
         self.pdus_replicated += replicas as u64;
     }
 
-    /// Appends a PDU to an output port's FIFO; returns the new depth.
-    pub fn enqueue(&mut self, port: u16, pdu: SwitchedPdu) -> usize {
+    /// Appends a PDU to an output port's FIFO at simulated time `now`;
+    /// returns the new depth.
+    pub fn enqueue(&mut self, port: u16, pdu: SwitchedPdu, now: SimTime) -> usize {
+        let observe = self.observe;
         let p = &mut self.ports[port as usize];
         p.queue.push_back(pdu);
         let depth = p.queue.len();
         p.max_depth = p.max_depth.max(depth as u64);
+        if observe {
+            p.series.record(now, PortSampleKind::Depth, depth as u64);
+        }
         depth
     }
 
@@ -231,12 +323,18 @@ impl Switch {
         self.ports[port as usize].queue.front()
     }
 
-    /// Pops the head of a port's FIFO (after a successful dispatch).
-    pub fn pop(&mut self, port: u16) -> Option<SwitchedPdu> {
+    /// Pops the head of a port's FIFO at simulated time `now` (after a
+    /// successful dispatch).
+    pub fn pop(&mut self, port: u16, now: SimTime) -> Option<SwitchedPdu> {
+        let observe = self.observe;
         let p = &mut self.ports[port as usize];
         let pdu = p.queue.pop_front();
         if pdu.is_some() {
             p.dispatched += 1;
+            if observe {
+                p.series
+                    .record(now, PortSampleKind::Depth, p.queue.len() as u64);
+            }
         }
         pdu
     }
@@ -257,15 +355,25 @@ impl Switch {
     }
 
     /// Attempts to reserve egress credits for `cells` cells on
-    /// `(port, vc)`; bumps the port's stall counter on failure.
-    pub fn try_consume_credits(&mut self, port: u16, vc: u32, cells: u32) -> bool {
+    /// `(port, vc)` at simulated time `now`; bumps the port's stall
+    /// counter on failure.
+    pub fn try_consume_credits(&mut self, port: u16, vc: u32, cells: u32, now: SimTime) -> bool {
         let limit = self.port_credit;
+        let observe = self.observe;
         let p = &mut self.ports[port as usize];
-        let ok = p
+        let credits = p
             .credits
             .entry(vc)
-            .or_insert_with(|| CreditState::new(limit))
-            .try_consume(cells);
+            .or_insert_with(|| CreditState::new(limit));
+        let ok = credits.try_consume(cells);
+        if observe {
+            if ok {
+                let left = credits.available() as u64;
+                p.series.record(now, PortSampleKind::CreditOccupancy, left);
+            } else {
+                p.series.record(now, PortSampleKind::HolStall, cells as u64);
+            }
+        }
         if !ok {
             p.credit_stalls += 1;
         }
@@ -341,6 +449,8 @@ mod tests {
             total: 96,
             sent_at: SimTime::ZERO,
             token,
+            seq: token as u32,
+            ingress_at: SimTime::ZERO,
         }
     }
 
@@ -365,11 +475,11 @@ mod tests {
     #[test]
     fn port_fifo_preserves_order_and_tracks_depth() {
         let mut sw = Switch::new(&SwitchConfig::new(2, 64).route(0, 1, &[1]));
-        sw.enqueue(1, pdu(0, 1, 10));
-        sw.enqueue(1, pdu(0, 1, 11));
+        sw.enqueue(1, pdu(0, 1, 10), SimTime::ZERO);
+        sw.enqueue(1, pdu(0, 1, 11), SimTime::ZERO);
         assert_eq!(sw.queue_len(1), 2);
-        assert_eq!(sw.pop(1).unwrap().token, 10);
-        assert_eq!(sw.pop(1).unwrap().token, 11);
+        assert_eq!(sw.pop(1, SimTime::ZERO).unwrap().token, 10);
+        assert_eq!(sw.pop(1, SimTime::ZERO).unwrap().token, 11);
         assert_eq!(sw.port_max_depth(1), 2);
         assert_eq!(sw.port_dispatched(1), 2);
     }
@@ -378,8 +488,8 @@ mod tests {
     fn egress_credits_consume_stall_and_replenish() {
         let mut sw = Switch::new(&SwitchConfig::new(2, 3).route(0, 1, &[1]));
         assert_eq!(sw.credits_available(1, 1), 3);
-        assert!(sw.try_consume_credits(1, 1, 3));
-        assert!(!sw.try_consume_credits(1, 1, 1));
+        assert!(sw.try_consume_credits(1, 1, 3, SimTime::ZERO));
+        assert!(!sw.try_consume_credits(1, 1, 1, SimTime::ZERO));
         assert_eq!(sw.port_credit_stalls(1), 1);
         sw.return_credits(1, 1, 100);
         assert_eq!(sw.credits_available(1, 1), 3, "saturates at the limit");
@@ -403,16 +513,68 @@ mod tests {
     fn stats_aggregate_across_ports() {
         let mut sw = Switch::new(&SwitchConfig::new(3, 1).route(0, 1, &[1, 2]));
         sw.note_ingress(1);
-        sw.enqueue(1, pdu(0, 1, 10));
-        sw.enqueue(2, pdu(0, 1, 10));
-        assert!(sw.try_consume_credits(1, 1, 1));
-        assert!(!sw.try_consume_credits(1, 1, 2));
-        sw.pop(1);
+        sw.enqueue(1, pdu(0, 1, 10), SimTime::ZERO);
+        sw.enqueue(2, pdu(0, 1, 10), SimTime::ZERO);
+        assert!(sw.try_consume_credits(1, 1, 1, SimTime::ZERO));
+        assert!(!sw.try_consume_credits(1, 1, 2, SimTime::ZERO));
+        sw.pop(1, SimTime::ZERO);
         let s = sw.stats();
         assert_eq!(s.pdus_ingress, 1);
         assert_eq!(s.pdus_replicated, 1);
         assert_eq!(s.pdus_dispatched, 1);
         assert_eq!(s.credit_stalls, 1);
         assert_eq!(s.max_port_depth, 1);
+    }
+
+    #[test]
+    fn observation_records_port_series_without_touching_counters() {
+        let mk = |observe: bool| {
+            let mut sw = Switch::new(&SwitchConfig::new(2, 2).route(0, 1, &[1]));
+            sw.set_observe(observe);
+            sw.enqueue(1, pdu(0, 1, 10), SimTime::from_us(1.0));
+            sw.enqueue(1, pdu(0, 1, 11), SimTime::from_us(2.0));
+            assert!(sw.try_consume_credits(1, 1, 2, SimTime::from_us(3.0)));
+            assert!(!sw.try_consume_credits(1, 1, 2, SimTime::from_us(4.0)));
+            sw.pop(1, SimTime::from_us(5.0));
+            sw
+        };
+        let on = mk(true);
+        let off = mk(false);
+        // Counters are identical with observation on or off.
+        assert_eq!(on.stats(), off.stats());
+        assert!(off.port_series(1).recent.is_empty());
+        let series = on.port_series(1);
+        // Two enqueues + one pop = 3 depth points; 1 occupancy; 1 stall.
+        assert_eq!(series.depth.count(), 3);
+        assert_eq!(series.depth.max(), 2);
+        assert_eq!(series.credit_occupancy.count(), 1);
+        assert_eq!(series.credit_occupancy.max(), 0, "all credits consumed");
+        let stalls: Vec<&PortPoint> = series
+            .recent
+            .iter()
+            .filter(|p| p.kind == PortSampleKind::HolStall)
+            .collect();
+        assert_eq!(stalls.len(), 1);
+        assert_eq!(stalls[0].at, SimTime::from_us(4.0));
+        assert_eq!(stalls[0].value, 2);
+        assert_eq!(series.points_dropped, 0);
+    }
+
+    #[test]
+    fn port_series_ring_is_bounded() {
+        let mut sw = Switch::new(&SwitchConfig::new(2, 64).route(0, 1, &[1]));
+        sw.set_observe(true);
+        for i in 0..(PORT_SERIES_CAP as u64 + 50) {
+            sw.enqueue(1, pdu(0, 1, i), SimTime::from_ps(i));
+            sw.pop(1, SimTime::from_ps(i));
+        }
+        let series = sw.port_series(1);
+        assert_eq!(series.recent.len(), PORT_SERIES_CAP);
+        assert_eq!(
+            series.points_dropped,
+            2 * (PORT_SERIES_CAP as u64 + 50) - PORT_SERIES_CAP as u64
+        );
+        // Histograms still cover the full run.
+        assert_eq!(series.depth.count(), 2 * (PORT_SERIES_CAP as u64 + 50));
     }
 }

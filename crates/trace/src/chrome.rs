@@ -106,6 +106,18 @@ impl ChromeTrace {
                     }
                 }
             }
+            // Surface the sampling ledger (only when something was
+            // sampled out, so unsampled exports are byte-unchanged).
+            for (owner, n) in &set.dropped_spans {
+                if *n > 0 {
+                    lines.push(format!(
+                        "{{\"ph\":\"M\",\"pid\":{pid},\
+                         \"name\":\"dropped_spans\",\
+                         \"args\":{{\"owner\":\"{}\",\"count\":{n}}}}}",
+                        escape(owner)
+                    ));
+                }
+            }
         }
         let mut out = String::from("[\n");
         for (i, l) in lines.iter().enumerate() {
@@ -167,6 +179,7 @@ mod tests {
         t.instant(Track::Events, "credit.stall", SimTime::from_us(3.0), 1);
         TraceSet {
             owners: vec![("host A".to_string(), t.take())],
+            ..TraceSet::default()
         }
     }
 
@@ -228,6 +241,7 @@ mod tests {
                     units: 0,
                 }],
             )],
+            ..TraceSet::default()
         };
         let mut c = ChromeTrace::new();
         c.add_process("p", set);

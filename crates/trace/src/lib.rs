@@ -30,6 +30,72 @@ use genie_machine::{Op, SimTime};
 /// matters to long streaming runs, which keep the most recent window.
 pub const DEFAULT_CAPACITY: usize = 1 << 18;
 
+/// Flight-recorder sampling policy: keep 1-in-`rate` flows (selected
+/// by a seeded hash of `(owner, vc, seq)`, so the decision is a pure
+/// function of the flow identity — byte-identical across thread
+/// counts), under a hard per-tracer ring budget. Instant markers
+/// (faults, retransmits, credit stalls, invariant events) are always
+/// kept regardless of the flow decision; sampled-out spans are tallied
+/// in a per-track `dropped_spans` ledger so nothing vanishes silently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SampleConfig {
+    /// Keep one flow in `rate` (1 = keep everything).
+    pub rate: u32,
+    /// Ring capacity in events (0 = leave the tracer's capacity).
+    pub budget: usize,
+    /// Seed for the flow-selection hash.
+    pub seed: u64,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        SampleConfig {
+            rate: 1,
+            budget: 0,
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl SampleConfig {
+    /// Reads `GENIE_TRACE_SAMPLE` (1-in-N flow rate) and
+    /// `GENIE_TRACE_BUDGET` (ring capacity in events). Unset or
+    /// unparsable values fall back to the defaults (no sampling,
+    /// default capacity).
+    pub fn from_env() -> Self {
+        let mut cfg = SampleConfig::default();
+        if let Ok(v) = std::env::var("GENIE_TRACE_SAMPLE") {
+            if let Ok(n) = v.trim().parse::<u32>() {
+                cfg.rate = n.max(1);
+            }
+        }
+        if let Ok(v) = std::env::var("GENIE_TRACE_BUDGET") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                cfg.budget = n;
+            }
+        }
+        cfg
+    }
+
+    /// True when this config actually filters or bounds anything
+    /// beyond the defaults.
+    pub fn is_active(&self) -> bool {
+        self.rate > 1 || self.budget > 0
+    }
+}
+
+/// The deterministic flow-selection hash (splitmix64 over the packed
+/// flow identity). Public so tests can pin the selection.
+pub fn flow_hash(seed: u64, owner: u32, vc: u32, seq: u32) -> u64 {
+    let mut x = seed
+        ^ ((owner as u64) << 48)
+        ^ ((vc as u64) << 24)
+        ^ (seq as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// Timeline a trace event belongs to. Each track renders as one
 /// Perfetto thread; spans on the same track nest by containment
 /// (a phase span encloses the op spans charged inside it only
@@ -173,6 +239,18 @@ pub struct Tracer {
     /// are laid end to end from their charge time to keep the track's
     /// spans disjoint while preserving every duration.
     overlap_cursor: SimTime,
+    /// Flow sampling: keep 1-in-`sample_rate` flows.
+    sample_rate: u32,
+    sample_seed: u64,
+    /// Owner identity mixed into the flow hash (host id, or a
+    /// sentinel for the wire tracer).
+    sample_owner: u32,
+    /// Decision for the currently active flow (true when no flow is
+    /// set — unattributed spans are always kept).
+    flow_keep: bool,
+    /// Spans filtered out by sampling since the last take, per track
+    /// (indexed by [`Track::id`]).
+    dropped_spans: [u64; Track::ALL.len()],
 }
 
 impl Default for Tracer {
@@ -197,7 +275,57 @@ impl Tracer {
             capacity: capacity.max(1),
             dropped: 0,
             overlap_cursor: SimTime::ZERO,
+            sample_rate: 1,
+            sample_seed: SampleConfig::default().seed,
+            sample_owner: 0,
+            flow_keep: true,
+            dropped_spans: [0; Track::ALL.len()],
         }
+    }
+
+    /// Applies a sampling policy. `owner` is mixed into the flow hash
+    /// so different hosts sample different flows under the same seed.
+    /// A non-zero budget re-bounds the ring (discarding held events,
+    /// so apply before recording).
+    pub fn set_sampling(&mut self, owner: u32, cfg: &SampleConfig) {
+        self.sample_rate = cfg.rate.max(1);
+        self.sample_seed = cfg.seed;
+        self.sample_owner = owner;
+        if cfg.budget > 0 && cfg.budget != self.capacity {
+            self.capacity = cfg.budget.max(1);
+            self.ring = Vec::new();
+            self.next = 0;
+            self.wrapped = false;
+        }
+    }
+
+    /// Marks subsequent spans as belonging to the flow `(vc, seq)`;
+    /// they are kept or sampled out by the seeded flow hash. Instants
+    /// are always kept. No-op (one compare) when sampling is off.
+    #[inline]
+    pub fn set_flow(&mut self, vc: u32, seq: u32) {
+        if self.sample_rate <= 1 {
+            return;
+        }
+        self.flow_keep = flow_hash(self.sample_seed, self.sample_owner, vc, seq)
+            .is_multiple_of(self.sample_rate as u64);
+    }
+
+    /// Ends flow attribution: subsequent spans are kept again.
+    #[inline]
+    pub fn clear_flow(&mut self) {
+        self.flow_keep = true;
+    }
+
+    /// Spans filtered out by sampling since the last [`Tracer::take`],
+    /// per track in [`Track::ALL`] order.
+    pub fn dropped_spans(&self) -> &[u64] {
+        &self.dropped_spans
+    }
+
+    /// Total spans filtered out by sampling since the last take.
+    pub fn dropped_spans_total(&self) -> u64 {
+        self.dropped_spans.iter().sum()
     }
 
     /// Whether events are being recorded. Callers building event
@@ -235,6 +363,13 @@ impl Tracer {
     #[inline]
     fn push(&mut self, ev: TraceEvent) {
         if !self.enabled {
+            return;
+        }
+        // Sampling filters flow-attributed spans only; instants (the
+        // always-keep class: faults, retransmits, credit stalls,
+        // invariant markers) pass regardless of the flow decision.
+        if !self.flow_keep && ev.kind == EventKind::Span {
+            self.dropped_spans[ev.track.id() as usize] += 1;
             return;
         }
         if self.ring.len() < self.capacity {
@@ -309,6 +444,16 @@ impl Tracer {
         });
     }
 
+    /// Copies the recorded events, oldest first, without draining the
+    /// ring — the crash-dump path snapshots mid-run state this way.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut out = self.ring.clone();
+        if self.wrapped {
+            out.rotate_left(self.next);
+        }
+        out
+    }
+
     /// Drains the recorded events, oldest first, and resets the ring
     /// (the enabled flag is left as is).
     pub fn take(&mut self) -> Vec<TraceEvent> {
@@ -320,6 +465,8 @@ impl Tracer {
         self.wrapped = false;
         self.dropped = 0;
         self.overlap_cursor = SimTime::ZERO;
+        self.flow_keep = true;
+        self.dropped_spans = [0; Track::ALL.len()];
         out
     }
 }
@@ -330,12 +477,20 @@ impl Tracer {
 pub struct TraceSet {
     /// `(owner label, events)` in a stable order.
     pub owners: Vec<(String, Vec<TraceEvent>)>,
+    /// `(owner label, spans sampled out)` — the dropped-spans ledger,
+    /// populated only for owners whose tracer filtered something.
+    pub dropped_spans: Vec<(String, u64)>,
 }
 
 impl TraceSet {
     /// Total recorded events.
     pub fn len(&self) -> usize {
         self.owners.iter().map(|(_, e)| e.len()).sum()
+    }
+
+    /// Total spans sampled out across every owner.
+    pub fn dropped_spans_total(&self) -> u64 {
+        self.dropped_spans.iter().map(|(_, n)| n).sum()
     }
 
     /// True when no owner recorded anything.
@@ -430,9 +585,97 @@ mod tests {
         );
         let set = TraceSet {
             owners: vec![("host A".to_string(), a.take())],
+            ..TraceSet::default()
         };
         assert_eq!(set.total_dur("Copyout"), SimTime::from_us(7.0));
         assert_eq!(set.total_dur("Copyin"), SimTime::ZERO);
         assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn flow_sampling_keeps_selected_flows_and_ledgers_the_rest() {
+        let cfg = SampleConfig {
+            rate: 4,
+            budget: 0,
+            seed: 7,
+        };
+        let mut t = Tracer::new();
+        t.set_enabled(true);
+        t.set_sampling(3, &cfg);
+        let mut kept_flows = 0u32;
+        for seq in 0..64u32 {
+            t.set_flow(100, seq);
+            let before = t.len();
+            t.span(Track::Cpu, "op", SimTime::ZERO, SimTime::from_us(1.0), 8, 1);
+            // Instants survive sampling unconditionally.
+            t.instant(Track::Events, "credit.stall", SimTime::ZERO, 1);
+            if t.len() == before + 2 {
+                kept_flows += 1;
+            }
+            t.clear_flow();
+        }
+        // Deterministic selection: re-running yields the same keeps.
+        assert!(kept_flows > 0 && kept_flows < 64, "kept {kept_flows}");
+        let dropped = t.dropped_spans_total();
+        assert_eq!(dropped, (64 - kept_flows) as u64);
+        assert_eq!(t.dropped_spans()[Track::Cpu.id() as usize], dropped);
+        // Every flow's instant made it through.
+        let events = t.take();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.kind == EventKind::Instant)
+                .count(),
+            64
+        );
+        assert_eq!(t.dropped_spans_total(), 0);
+    }
+
+    #[test]
+    fn flow_hash_is_a_pure_function_of_identity() {
+        assert_eq!(flow_hash(7, 3, 100, 5), flow_hash(7, 3, 100, 5));
+        assert_ne!(flow_hash(7, 3, 100, 5), flow_hash(7, 3, 100, 6));
+        assert_ne!(flow_hash(7, 3, 100, 5), flow_hash(7, 4, 100, 5));
+        assert_ne!(flow_hash(7, 3, 100, 5), flow_hash(8, 3, 100, 5));
+    }
+
+    #[test]
+    fn budget_bounds_the_ring() {
+        let cfg = SampleConfig {
+            rate: 1,
+            budget: 8,
+            seed: 0,
+        };
+        let mut t = Tracer::new();
+        t.set_enabled(true);
+        t.set_sampling(0, &cfg);
+        for i in 0..100u64 {
+            t.span(
+                Track::Cpu,
+                "op",
+                SimTime::from_us(i as f64),
+                SimTime::ZERO,
+                i as usize,
+                0,
+            );
+        }
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.dropped(), 92);
+        let got = t.take();
+        assert_eq!(got.first().unwrap().bytes, 92);
+        assert_eq!(got.last().unwrap().bytes, 99);
+    }
+
+    #[test]
+    fn sample_config_from_env_defaults_are_inert() {
+        let cfg = SampleConfig::default();
+        assert_eq!(cfg.rate, 1);
+        assert_eq!(cfg.budget, 0);
+        assert!(!cfg.is_active());
+        assert!(SampleConfig {
+            rate: 8,
+            ..SampleConfig::default()
+        }
+        .is_active());
     }
 }

@@ -68,8 +68,56 @@ impl Histogram {
         self.sum
     }
 
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
     /// Largest sample (0 when empty).
     pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Folds another histogram into this one (bucket-wise sum; min and
+    /// max widen). The rollup layer uses this to aggregate per-host
+    /// and per-VC distributions.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (b, n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += n;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the exclusive upper
+    /// bound of the bucket holding the q-th sample, clamped to the
+    /// observed max. Bucket resolution is a power of two, so this is
+    /// an upper estimate within 2x — adequate for rollup reporting
+    /// (exact per-sample quantiles live in the suites' distributions).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let target = target.max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let upper = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+                return upper.min(self.max).max(self.min);
+            }
+        }
         self.max
     }
 
@@ -176,6 +224,59 @@ impl MetricsRegistry {
         self.entries.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// The rollup layer: aggregates every metric named
+    /// `{group}<id>.{rest}` — where `<id>` is a maximal run of
+    /// alphanumerics followed by a dot — into `{out}.{rest}` (counters
+    /// sum, gauges sum, histograms merge), plus `{out}.members`
+    /// counting the distinct ids seen. Used to collapse
+    /// `host_3.busy_us` into `rollup.host.busy_us` and
+    /// `switch.port_2.depth` into `rollup.port.depth` at fabric scale,
+    /// where per-instance keys are too many to read. Returns the
+    /// number of metrics rolled up.
+    pub fn rollup(&mut self, group: &str, out: &str) -> usize {
+        let mut rolled: BTreeMap<String, Metric> = BTreeMap::new();
+        let mut members: std::collections::BTreeSet<String> = Default::default();
+        let mut n = 0usize;
+        for (name, m) in self.entries.iter() {
+            let Some(tail) = name.strip_prefix(group) else {
+                continue;
+            };
+            let id_len = tail
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .count();
+            if id_len == 0 || !tail[id_len..].starts_with('.') {
+                continue;
+            }
+            let (id, rest) = (&tail[..id_len], &tail[id_len + 1..]);
+            members.insert(id.to_string());
+            n += 1;
+            let key = format!("{out}.{rest}");
+            match (
+                rolled.entry(key).or_insert_with(|| match m {
+                    Metric::Counter(_) => Metric::Counter(0),
+                    Metric::Gauge(_) => Metric::Gauge(0.0),
+                    Metric::Histogram(_) => Metric::Histogram(Box::default()),
+                }),
+                m,
+            ) {
+                (Metric::Counter(acc), Metric::Counter(v)) => *acc += v,
+                (Metric::Gauge(acc), Metric::Gauge(v)) => *acc += v,
+                (Metric::Histogram(acc), Metric::Histogram(h)) => acc.merge(h),
+                // Mixed types under one rolled-up key: keep the first.
+                _ => {}
+            }
+        }
+        if n > 0 {
+            rolled.insert(
+                format!("{out}.members"),
+                Metric::Counter(members.len() as u64),
+            );
+        }
+        self.entries.extend(rolled);
+        n
+    }
+
     /// Renders the registry as a JSON object, keys sorted, with
     /// `indent` leading spaces per line.
     pub fn to_json(&self, indent: usize) -> String {
@@ -247,6 +348,54 @@ mod tests {
         assert!(j.contains("\"4\":2"), "{j}");
         assert!(j.contains("\"8\":1"), "{j}");
         assert!(j.contains("\"1024\":1"), "{j}");
+    }
+
+    #[test]
+    fn histogram_merge_and_quantile() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1, 2, 3, 4] {
+            a.record(v);
+        }
+        for v in [100, 200] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.sum(), 310);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 200);
+        // p50 of {1,2,3,4,100,200} lands in the [2,4) bucket.
+        assert_eq!(a.quantile(0.5), 4);
+        assert_eq!(a.quantile(1.0), 200);
+        assert_eq!(Histogram::new().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn rollup_aggregates_per_instance_groups() {
+        let mut r = MetricsRegistry::new();
+        r.set_counter("host_0.busy_us", 10);
+        r.set_counter("host_1.busy_us", 32);
+        r.set_gauge("host_0.clock_us", 1.5);
+        r.set_gauge("host_1.clock_us", 2.5);
+        let mut h = Histogram::new();
+        h.record(7);
+        r.set_histogram("host_0.depth", h.clone());
+        r.set_histogram("host_1.depth", h);
+        r.set_counter("host_a.busy_us", 99); // letter ids roll up too
+        r.set_counter("host_0", 5); // no dot after the id: skipped
+        let n = r.rollup("host_", "rollup.host");
+        assert_eq!(n, 7);
+        assert_eq!(r.counter("rollup.host.busy_us"), 141);
+        assert_eq!(r.counter("rollup.host.members"), 3);
+        match r.get("rollup.host.clock_us") {
+            Some(Metric::Gauge(g)) => assert!((g - 4.0).abs() < 1e-9),
+            other => panic!("{other:?}"),
+        }
+        match r.get("rollup.host.depth") {
+            Some(Metric::Histogram(h)) => assert_eq!(h.count(), 2),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -90,4 +90,45 @@ else
     --tol "${GENIE_BENCH_TOL:-25}"
 fi
 
+echo "== sampled-tracing overhead smoke (budgeted flight recorder vs untraced) =="
+# The flight recorder at a hard ring budget must not perturb the
+# report (byte-identical exhibits) and must stay cheap enough to live
+# inside the perf gate: best-of-two traced runs within
+# GENIE_TRACE_OVERHEAD_TOL percent (default 50) of best-of-two
+# untraced runs. Wall time, so the minimum of two runs absorbs load
+# spikes the same way the perf gate does.
+smoke_dir=$(mktemp -d)
+trap 'rm -f "$tmp_serial" "$tmp_par" "$tmp_metrics" "$tmp_trace" "$tmp_bench"; rm -rf "$tmp_json_dir" "$smoke_dir"' EXIT
+run_ms() { # run_ms OUT_FILE CMD... -> wall ms on stdout
+  local out=$1 t0 t1
+  shift
+  t0=$(date +%s%N)
+  "$@" >"$out" 2>/dev/null
+  t1=$(date +%s%N)
+  echo $(((t1 - t0) / 1000000))
+}
+base_ms=$(run_ms "$smoke_dir/plain1" ./target/release/report all --threads 1)
+m=$(run_ms "$smoke_dir/plain2" ./target/release/report all --threads 1)
+[ "$m" -lt "$base_ms" ] && base_ms=$m
+traced_ms=$(run_ms "$smoke_dir/traced1" env GENIE_TRACE="$smoke_dir/trace1.json" \
+  GENIE_TRACE_SAMPLE=8 GENIE_TRACE_BUDGET=4096 ./target/release/report all --threads 1)
+m=$(run_ms "$smoke_dir/traced2" env GENIE_TRACE="$smoke_dir/trace2.json" \
+  GENIE_TRACE_SAMPLE=8 GENIE_TRACE_BUDGET=4096 ./target/release/report all --threads 1)
+[ "$m" -lt "$traced_ms" ] && traced_ms=$m
+cmp "$smoke_dir/plain1" "$smoke_dir/traced1" || {
+  echo "verify: sampled tracing perturbed the report output" >&2
+  exit 1
+}
+grep -q '"ph":"X"' "$smoke_dir/trace1.json" || {
+  echo "verify: sampled trace export is empty" >&2
+  exit 1
+}
+[ "$base_ms" -gt 0 ] || base_ms=1
+overhead=$(((traced_ms - base_ms) * 100 / base_ms))
+echo "tracing overhead: untraced ${base_ms} ms, sampled+budgeted ${traced_ms} ms (${overhead}%)"
+if [ "$overhead" -gt "${GENIE_TRACE_OVERHEAD_TOL:-50}" ]; then
+  echo "verify: sampled tracing overhead ${overhead}% exceeds ${GENIE_TRACE_OVERHEAD_TOL:-50}%" >&2
+  exit 1
+fi
+
 echo "verify: all checks passed"
