@@ -20,6 +20,11 @@
 //! `report fabric` renders the N-host switched-fabric distribution
 //! suites. It is explicit-only — never included in `all` or a bare
 //! `report` — so the paper exhibits' golden output is unaffected.
+//! `report fabric --scale` runs the scale tier instead: a 64-host
+//! star pushing `GENIE_SCALE_DATAGRAMS` (default 125 000) datagrams
+//! per semantics — one million total — through the sharded event
+//! loop. `--shards N` (or `GENIE_SHARDS`) picks the worker-shard
+//! count; every simulated number is byte-identical at any count.
 //!
 //! Selected exhibits are computed in parallel on the genie-runner
 //! worker pool (thread count from `--threads`, else `GENIE_THREADS`,
@@ -229,6 +234,25 @@ fn main() {
         trace_path = Some(args[i + 1].clone());
         args.drain(i..=i + 1);
     }
+    let mut shards_flag: Option<usize> = None;
+    if let Some(i) = args.iter().position(|a| a == "--shards") {
+        if i + 1 >= args.len() {
+            eprintln!("--shards requires a count");
+            std::process::exit(2);
+        }
+        let n: usize = args[i + 1].parse().unwrap_or_else(|_| {
+            eprintln!("--shards: invalid count {:?}", args[i + 1]);
+            std::process::exit(2);
+        });
+        genie_runner::set_shards(n);
+        shards_flag = Some(n);
+        args.drain(i..=i + 1);
+    }
+    let mut want_scale = false;
+    if let Some(i) = args.iter().position(|a| a == "--scale") {
+        args.remove(i);
+        want_scale = true;
+    }
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         if i + 1 >= args.len() {
             eprintln!("--threads requires a count");
@@ -249,6 +273,10 @@ fn main() {
         args.remove(i);
         want_fabric = true;
     }
+    // `--scale` implies `fabric`: it selects the scale tier (the
+    // million-datagram 64-host star sweep) instead of the standard
+    // fabric distribution exhibit.
+    want_fabric |= want_scale;
     // `--metrics`/`--trace` with no exhibit names means "just inspect":
     // no exhibits render. Same for a pure `report fabric`.
     let inspect_only = args.is_empty() && (want_metrics || trace_path.is_some() || want_fabric);
@@ -316,8 +344,16 @@ fn main() {
     // `report fabric --metrics` is the flight-recorder view: rollup
     // tables instead of the distribution exhibit. Plain `report
     // --metrics` (the canonical two-host inspection) is untouched.
+    let scale_report = want_scale.then(|| {
+        let shards = shards_flag
+            .unwrap_or_else(genie_runner::configured_shards)
+            .max(1);
+        gen::fabric_scale_run(shards)
+    });
     if want_fabric {
-        if want_metrics {
+        if let Some(r) = &scale_report {
+            println!("{}", gen::fabric_scale_exhibit(r));
+        } else if want_metrics {
             println!("{}", gen::fabric_metrics_report());
         } else {
             println!("{}\n", gen::fabric_exhibit());
@@ -392,6 +428,11 @@ fn main() {
             };
             flat(&mut out, "fabric", &fabric);
             flat(&mut out, "host_rollup", &host);
+            if let Some(r) = &scale_report {
+                // `report --json fabric --scale`: the scale tier's
+                // wall clocks and speedup, gated by perf_gate.py.
+                flat(&mut out, "scale", &gen::fabric_scale_json_section(r));
+            }
         }
         out.push_str("  }\n}\n");
         std::fs::write("BENCH_report.json", &out).expect("write BENCH_report.json");

@@ -25,6 +25,9 @@ pub struct ReportSummary {
     pub fabric: Vec<(String, f64)>,
     /// Aggregate-over-hosts rollup rows (`report --json fabric`).
     pub host_rollup: Vec<(String, f64)>,
+    /// Scale-tier rows (`report --json fabric --scale`): simulated
+    /// distribution plus wall clocks, shard count and speedup.
+    pub scale: Vec<(String, f64)>,
 }
 
 /// Extracts the string value of a `"key": "value"` fragment on `line`.
@@ -53,6 +56,7 @@ enum Section {
     Simulated,
     Fabric,
     HostRollup,
+    Scale,
 }
 
 /// Parses the comparable fields out of a `report --json` document.
@@ -78,6 +82,10 @@ pub fn parse_summary(json: &str) -> ReportSummary {
             section = Section::HostRollup;
             continue;
         }
+        if line.contains("\"scale\":") {
+            section = Section::Scale;
+            continue;
+        }
         if section != Section::None {
             let t = line.trim();
             if t.starts_with('}') {
@@ -92,6 +100,7 @@ pub fn parse_summary(json: &str) -> ReportSummary {
                             Section::Simulated => &mut out.simulated_us,
                             Section::Fabric => &mut out.fabric,
                             Section::HostRollup => &mut out.host_rollup,
+                            Section::Scale => &mut out.scale,
                             Section::None => unreachable!(),
                         };
                         dst.push((label.to_string(), v));
@@ -175,6 +184,13 @@ pub fn render_comparison(
         "metric",
         &a.host_rollup,
         &b.host_rollup,
+    );
+    flat_section(
+        &mut out,
+        "scale tier (64-host star; *_us/sim_* rows are behavioral, wall/speedup are host time)",
+        "row",
+        &a.scale,
+        &b.scale,
     );
     out.push_str("\nwall clock (ms) — host time, noisy on shared machines\n");
     out.push_str(&format!(
@@ -303,6 +319,41 @@ mod tests {
             .find(|l| l.trim().starts_with("busy_us"))
             .unwrap();
         assert!(busy.contains("-22.500"), "{busy}");
+    }
+
+    #[test]
+    fn compares_the_scale_tier_section() {
+        let a = parse_summary(FIXTURE_A);
+        let b = parse_summary(FIXTURE_B);
+        // Scale rows parse into their own section (fixture A has no
+        // speedup probe — it ran serial).
+        assert_eq!(a.scale.len(), 9);
+        assert_eq!(b.scale.len(), 12);
+        assert_eq!(a.scale[0], ("shards".to_string(), 1.0));
+        // ...and do not bleed into the fabric/host_rollup sections.
+        assert_eq!(a.fabric.len(), 6);
+        assert_eq!(a.host_rollup.len(), 3);
+
+        let text = render_comparison("a.json", &a, "b.json", &b);
+        assert!(text.contains("scale tier"), "{text}");
+        // Simulated scale rows are identical across shard counts.
+        let p50 = text
+            .lines()
+            .find(|l| l.trim().starts_with("copy.p50_us"))
+            .expect("scale row rendered");
+        assert!(p50.contains("+0.000"), "{p50}");
+        // The wall clock dropped: 4-shard run is ~3x faster.
+        let wall = text
+            .lines()
+            .find(|l| l.trim().starts_with("copy.wall_s"))
+            .unwrap();
+        assert!(wall.contains("-66.7%"), "{wall}");
+        // Speedup only exists in B; rendered as absent-in-A.
+        let sp = text
+            .lines()
+            .find(|l| l.trim().starts_with("speedup_vs_serial"))
+            .unwrap();
+        assert!(sp.contains("absent"), "{sp}");
     }
 
     #[test]

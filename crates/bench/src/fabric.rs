@@ -150,6 +150,121 @@ pub fn fabric_metrics_report() -> String {
     out
 }
 
+/// One scale-tier sweep: every semantics pushed through the 64-host
+/// star at `shards` worker shards, plus — when `shards > 1` — a
+/// serial re-run of the first semantics to measure parallel speedup.
+pub struct ScaleReport {
+    /// One point per semantics, in `ALL_SEMANTICS` order.
+    pub points: Vec<genie::suites::ScalePoint>,
+    /// Worker shards the sweep ran with (>= 1, already resolved).
+    pub shards: usize,
+    /// Cores visible to this process (speedups are only meaningful —
+    /// and only perf-gated — when this is >= the shard count).
+    pub cores: usize,
+    /// Datagrams per semantics (`GENIE_SCALE_DATAGRAMS`).
+    pub per_semantics: usize,
+    /// `(serial_wall_s, sharded_wall_s)` for the speedup probe; None
+    /// when the sweep itself ran serial.
+    pub probe: Option<(f64, f64)>,
+}
+
+/// Scale-tier hosts and payload: a 64-host star of 2 KB datagrams,
+/// the contended fan-in regime the paper's two-host exhibits cannot
+/// reach.
+const SCALE_HOSTS: u16 = 64;
+const SCALE_BYTES: usize = 2048;
+
+/// Runs the scale tier. Sequential over semantics on purpose: each
+/// run owns the machine so `wall_s` measures the event loop, not
+/// scheduler contention between exhibits.
+pub fn fabric_scale_run(shards: usize) -> ScaleReport {
+    let shards = shards.max(1);
+    let per = genie::suites::scale_datagrams();
+    let points: Vec<_> = ALL_SEMANTICS
+        .iter()
+        .map(|&s| genie::suites::fabric_scale(s, SCALE_HOSTS, per, SCALE_BYTES, shards))
+        .collect();
+    let probe = (shards > 1).then(|| {
+        let serial =
+            genie::suites::fabric_scale(points[0].semantics, SCALE_HOSTS, per, SCALE_BYTES, 1);
+        (serial.wall_s, points[0].wall_s)
+    });
+    ScaleReport {
+        points,
+        shards,
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        per_semantics: per,
+        probe,
+    }
+}
+
+/// Renders `report fabric --scale` stdout. Simulated numbers only —
+/// the rendered text is byte-identical at every shard count and on
+/// every machine; wall-clock and speedup live in `BENCH_report.json`.
+pub fn fabric_scale_exhibit(report: &ScaleReport) -> String {
+    let mut out = format!(
+        "# Fabric scale tier: {}-host star fan-in, {} x {} B datagrams per semantics\n\
+         All numbers below are simulated and shard-count invariant;\n\
+         wall-clock throughput and parallel speedup are recorded via\n\
+         `report --json fabric --scale` only.\n\n",
+        SCALE_HOSTS, report.per_semantics, SCALE_BYTES,
+    );
+    out.push_str(&format!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "semantics", "datagrams", "p50_us", "p99_us", "max_us", "sim_ms", "sim_mbps"
+    ));
+    for p in &report.points {
+        let bits = (p.datagrams * SCALE_BYTES * 8) as f64;
+        out.push_str(&format!(
+            "{:<16} {:>10} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}\n",
+            p.semantics.label(),
+            p.datagrams,
+            p.dist.p50.as_us(),
+            p.dist.p99.as_us(),
+            p.dist.max.as_us(),
+            p.sim_us / 1e3,
+            bits / p.sim_us,
+        ));
+    }
+    out
+}
+
+/// Flat `"scale"` section for `report --json fabric --scale`: the
+/// per-semantics simulated distribution plus the host-side wall
+/// clocks, core count and (at `shards > 1`) speedup-vs-serial — the
+/// numbers `scripts/perf_gate.py` gates.
+pub fn fabric_scale_json_section(report: &ScaleReport) -> FlatRows {
+    let mut rows: FlatRows = vec![
+        ("shards".into(), report.shards as f64),
+        ("cores".into(), report.cores as f64),
+        (
+            "datagrams_total".into(),
+            (report.per_semantics * report.points.len()) as f64,
+        ),
+    ];
+    let mut wall_total = 0.0;
+    for p in &report.points {
+        let label = p.semantics.label();
+        rows.push((format!("{label}.p50_us"), p.dist.p50.as_us()));
+        rows.push((format!("{label}.p99_us"), p.dist.p99.as_us()));
+        rows.push((format!("{label}.sim_ms"), p.sim_us / 1e3));
+        rows.push((format!("{label}.wall_s"), p.wall_s));
+        rows.push((
+            format!("{label}.wall_kdgrams_per_s"),
+            p.datagrams as f64 / p.wall_s.max(1e-9) / 1e3,
+        ));
+        rows.push((format!("{label}.peak_resident"), p.peak_resident as f64));
+        wall_total += p.wall_s;
+    }
+    rows.push(("wall_total_s".into(), wall_total));
+    if let Some((serial, sharded)) = report.probe {
+        rows.push(("probe_serial_wall_s".into(), serial));
+        rows.push(("probe_sharded_wall_s".into(), sharded));
+        rows.push(("speedup_vs_serial".into(), serial / sharded.max(1e-9)));
+    }
+    rows
+}
+
 /// One flat `"label": number` JSON section, in emission order.
 pub type FlatRows = Vec<(String, f64)>;
 

@@ -11,7 +11,10 @@ pub mod fabric;
 pub mod inspect;
 pub mod timing;
 
-pub use fabric::{fabric_exhibit, fabric_json_sections, fabric_metrics_report};
+pub use fabric::{
+    fabric_exhibit, fabric_json_sections, fabric_metrics_report, fabric_scale_exhibit,
+    fabric_scale_json_section, fabric_scale_run, ScaleReport,
+};
 
 use genie::oplists::{self, OpUse, Scale};
 use genie::{

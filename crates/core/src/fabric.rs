@@ -45,16 +45,22 @@ impl World {
     ) {
         // The switch has buffered the cells, so the uplink credits go
         // back to the sender; the credit-return message crosses the
-        // wire back before it can wake a stalled transmit queue.
-        self.hosts[from.idx()]
-            .adapter
-            .return_credits(vc, cells as u32);
-        if let Some(&front) = self.txq[from.idx()]
-            .get(u64::from(vc.0))
-            .and_then(VecDeque::front)
-        {
-            let wake = time + self.link.fixed_latency;
-            self.events.push(wake, Event::Transmit { token: front });
+        // wire back before it can wake a stalled transmit queue. In
+        // keyed mode the sender lane handles its own `CreditReturn`
+        // event (scheduled alongside this ingress) instead — this
+        // handler runs on the *destination's* lane and must not touch
+        // sender state.
+        if !self.keyed() {
+            self.hosts[from.idx()]
+                .adapter
+                .return_credits(vc, cells as u32);
+            if let Some(&front) = self.txq[from.idx()]
+                .get(u64::from(vc.0))
+                .and_then(VecDeque::front)
+            {
+                let wake = time + self.link.fixed_latency;
+                self.push_ev(wake, Event::Transmit { token: front });
+            }
         }
 
         let FabricState::Switched(sw) = &mut self.fabric else {
@@ -69,7 +75,10 @@ impl World {
         );
         sw.note_ingress(dsts.len() - 1);
         // Fan-out replicates the wire image at ingress; the original
-        // moves into the last copy.
+        // moves into the last copy. Drain kicks are deferred past the
+        // switch borrow; unicast (the fast path) needs no allocation.
+        let mut first_drain: Option<u16> = None;
+        let mut more_drains: Vec<u16> = Vec::new();
         for (i, &dst) in dsts.iter().enumerate() {
             let payload = if i + 1 == dsts.len() {
                 pdu.take()
@@ -97,8 +106,18 @@ impl World {
                 // already has a drain pending (a stall retry or a
                 // credit-return wake), so one event per busy spell is
                 // enough.
-                self.events.push(time, Event::PortDrain { port: dst });
+                if first_drain.is_none() {
+                    first_drain = Some(dst);
+                } else {
+                    more_drains.push(dst);
+                }
             }
+        }
+        if let Some(port) = first_drain {
+            self.push_ev(time, Event::PortDrain { port });
+        }
+        for port in more_drains {
+            self.push_ev(time, Event::PortDrain { port });
         }
     }
 
@@ -128,8 +147,7 @@ impl World {
                 // what keeps per-VC order intact across the hop).
                 // Credit returns wake the port directly; this retry
                 // covers starvation episodes with no returns coming.
-                self.events
-                    .push(time + SimTime::from_us(50.0), Event::PortDrain { port });
+                self.push_ev(time + SimTime::from_us(50.0), Event::PortDrain { port });
                 return;
             }
             let pdu = sw.pop(port, time).expect("head just inspected");
@@ -166,8 +184,9 @@ impl World {
                 tracer.clear_flow();
             }
             let arrival = wire_done + self.link.fixed_latency + dev_rx;
+            let src = HostId(pdu.src);
             match pdu.payload {
-                Some(wire) => self.events.push(
+                Some(wire) => self.push_ev(
                     arrival,
                     Event::Arrive {
                         to,
@@ -175,15 +194,17 @@ impl World {
                         pdu: wire,
                         sent_at: pdu.sent_at,
                         token: pdu.token,
+                        from: src,
                     },
                 ),
-                None => self.events.push(
+                None => self.push_ev(
                     arrival,
                     Event::ArriveDamaged {
                         to,
                         vc: Vc(vc),
                         token: pdu.token,
                         cells,
+                        from: src,
                     },
                 ),
             }

@@ -135,6 +135,10 @@ impl World {
             return Err(GenieError::BufferMismatch(req.semantics));
         }
         let token = self.take_token();
+        // Driver-phase pushes (if any) stamp their ordering key from
+        // the receiver's lane; the driver runs serially in the parent
+        // world, so the stamps are identical at every shard count.
+        self.current_lane = to.idx();
         let prepare_start = self.host(to).clock;
         let pending = self.prepare_input(to, &req)?;
         debug_assert_eq!(pending.token, 0, "token assigned below");
@@ -260,6 +264,7 @@ impl World {
     /// delivery — direct in a fault-free world, gated by per-VC
     /// sequence order when a fault plan is active (so retransmissions
     /// slot back in order).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_arrive(
         &mut self,
         time: SimTime,
@@ -268,6 +273,7 @@ impl World {
         pdu: genie_net::WirePdu,
         sent_at: SimTime,
         token: u64,
+        from: HostId,
     ) {
         let total = pdu.len();
         let cells = pdu.n_cells();
@@ -292,16 +298,14 @@ impl World {
                 {
                     // A credit-return message crosses the wire back.
                     let wake = time + self.link.fixed_latency;
-                    self.events
-                        .push(wake, crate::world::Event::Transmit { token: front });
+                    self.push_ev(wake, crate::world::Event::Transmit { token: front });
                 }
             }
             crate::world::FabricState::Switched(sw) => {
                 sw.return_credits(to.0, vc.0, cells as u32);
                 if sw.queue_len(to.0) > 0 {
                     let wake = time + self.link.fixed_latency;
-                    self.events
-                        .push(wake, crate::world::Event::PortDrain { port: to.0 });
+                    self.push_ev(wake, crate::world::Event::PortDrain { port: to.0 });
                 }
             }
         }
@@ -323,13 +327,38 @@ impl World {
             .is_some_and(|q| q.contains(seq));
         if seq < next || already_held {
             self.fault.stats.duplicates_discarded += 1;
-            if let Some(inf) = self.clear_inflight(token) {
+            if self.keyed() {
+                // The retransmit buffer lives on the sender's lane:
+                // acknowledge one hop-latency away instead of clearing
+                // it from here.
+                let at = time + self.link.fixed_latency;
+                self.push_ev(at, crate::world::Event::AckDelivered { token, from });
+            } else if let Some(inf) = self.clear_inflight(token) {
                 self.recycle_payload(inf.bytes);
             }
             self.recycle_pdu(pdu);
             return;
         }
         if seq > next {
+            // Reorder hold-depth cap: an out-of-order arrival at a full
+            // queue is spilled — discarded and re-requested from the
+            // sender — so receiver-side reorder memory stays bounded no
+            // matter how deep the reorder burst runs.
+            let full = self
+                .fault
+                .hold_queue(to.idx(), vc)
+                .is_some_and(|q| q.len() >= self.fault.hold_cap);
+            if full {
+                self.fault.stats.hold_spills += 1;
+                self.recycle_pdu(pdu);
+                if self.keyed() {
+                    let at = time + self.link.fixed_latency;
+                    self.push_ev(at, crate::world::Event::RequestRetransmit { token, from });
+                } else {
+                    self.schedule_retransmit(time, token);
+                }
+                return;
+            }
             self.fault.stats.held_for_reorder += 1;
             let tracer = &mut self.hosts[to.idx()].tracer;
             if tracer.enabled() {
@@ -351,6 +380,7 @@ impl World {
                 pdu,
                 sent_at,
                 tries: 0,
+                from,
             },
         );
         let depth = q.len();
@@ -670,14 +700,15 @@ impl World {
             }
         }
         // Per-VC latency rollup (tracing-gated so the untraced fast
-        // path never touches the map).
-        if self.wire_tracer.enabled() {
+        // path never touches the map; the flag rather than the shared
+        // wire tracer, which does not travel with keyed shards).
+        if self.tracing {
             self.vc_latency
                 .entry(u32::from(header.src_port))
                 .or_default()
                 .record(completed_at.saturating_sub(sent_at).0 / 1_000);
         }
-        self.done_recvs.push(RecvCompletion {
+        self.push_done_recv(RecvCompletion {
             token: p.token,
             semantics: p.semantics,
             space: p.space,

@@ -75,6 +75,7 @@ impl World {
             h.tracer.set_enabled(on);
         }
         self.wire_tracer.set_enabled(on);
+        self.tracing = on;
         if let FabricState::Switched(sw) = &mut self.fabric {
             sw.set_observe(on);
         }
@@ -199,6 +200,12 @@ impl World {
             r.set_counter(
                 &format!("{prefix}.vm.region_reinstates"),
                 v.region_reinstates,
+            );
+            // Overlay pool residency: the adapter pool travels with the
+            // host, so this gauge is identical at every shard count.
+            r.set_counter(
+                &format!("{prefix}.adapter.pool_frames"),
+                h.adapter.pool_len() as u64,
             );
             let m = &h.vm.phys;
             r.set_counter(&format!("{prefix}.mem.frame_allocs"), m.alloc_count());
@@ -493,5 +500,68 @@ mod tests {
         );
         // Uncharged ops are omitted.
         assert!(r.get("host_a.ops.Swap.count").is_none());
+    }
+
+    /// Metrics expose each host's overlay-pool residency, and
+    /// [`World::trim_pools`] releases process-level scratch memory
+    /// between back-to-back worlds without touching simulated state:
+    /// the second world's observable digest is identical whether or
+    /// not the first was trimmed.
+    #[test]
+    fn pool_residency_gauge_and_trim_between_runs() {
+        use crate::{InputRequest, OutputRequest, Semantics};
+        use genie_net::Vc;
+
+        let drive = |trim: bool| -> u64 {
+            let mut w = World::new(WorldConfig::default());
+            let tx = w.create_process(HostId::A);
+            let rx = w.create_process(HostId::B);
+            for i in 0..8usize {
+                w.input(
+                    HostId::B,
+                    InputRequest::system(Semantics::Move, Vc(1), rx, 1500),
+                )
+                .expect("input");
+                let (_r, src) = w
+                    .host_mut(HostId::A)
+                    .alloc_io_buffer(tx, 1500)
+                    .expect("alloc");
+                w.app_write(HostId::A, tx, src, &vec![i as u8; 1500])
+                    .expect("write");
+                w.output(
+                    HostId::A,
+                    OutputRequest::new(Semantics::Move, Vc(1), tx, src, 1500),
+                )
+                .expect("output");
+            }
+            w.run();
+            let m = w.metrics();
+            assert!(
+                m.get("host_b.adapter.pool_frames").is_some(),
+                "pool residency gauge missing"
+            );
+            if trim {
+                w.trim_pools(0);
+                assert!(
+                    w.trim_pools(0) == 0 || genie_mem::pooled_page_storage() == 0,
+                    "second trim finds nothing new"
+                );
+            }
+            let d = w.observable_digest(HostId::B);
+            drop(w);
+            d
+        };
+        let untrimmed = drive(false);
+        // Dropping the world recycles its page storage on this thread;
+        // trimming to zero releases all of it.
+        assert!(genie_mem::pooled_page_storage() > 0);
+        genie_mem::trim_page_storage(0);
+        assert_eq!(genie_mem::pooled_page_storage(), 0);
+        let trimmed = drive(true);
+        assert_eq!(untrimmed, trimmed, "trimming must not change simulation");
+        // The world's own frames recycle at drop; a final trim leaves
+        // the thread with no resident page storage at all.
+        genie_mem::trim_page_storage(0);
+        assert_eq!(genie_mem::pooled_page_storage(), 0);
     }
 }

@@ -1,0 +1,399 @@
+//! Parallel-in-one-world execution: epoch-synchronized sharded event
+//! loop for switched fabrics.
+//!
+//! One [`World`] is split by host lane into `n` shard worlds, each
+//! owning a disjoint set of hosts (with their adapters, VMs, pending
+//! operations and fault streams) plus the switch output ports of those
+//! lanes. Shards run the keyed event loop concurrently under a
+//! conservative time-window protocol:
+//!
+//! 1. every shard publishes the timestamp of its earliest pending
+//!    event (`u64::MAX` when idle) and waits at a barrier;
+//! 2. the global minimum `gmin` plus the link's fixed latency defines
+//!    the epoch horizon; each shard processes strictly-earlier events
+//!    (every cross-shard interaction — switch ingress, credit return,
+//!    ack, retransmit request — is at least one fixed latency in the
+//!    future, so nothing inside the horizon can still be in flight);
+//! 3. cross-shard events buffered during the epoch are exchanged as
+//!    exactly one mailbox per (src, dst) pair, a second barrier keeps
+//!    epochs from overlapping, and the loop repeats until every shard
+//!    reports `u64::MAX`.
+//!
+//! Determinism does not depend on thread scheduling: every event
+//! carries a `(time, key)` pair where the key is stamped from the
+//! *pushing* lane's private counter, so the heap order each shard sees
+//! — and therefore every simulated number — is a pure function of the
+//! event graph, not of arrival order. A run at `n` shards is
+//! byte-identical to the keyed serial run (`shards = 1`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Barrier;
+
+use genie_fault::{FaultConfig, FaultPlan, FaultStats, Oracle};
+use genie_machine::SimTime;
+use genie_mem::DenseMap;
+use genie_net::EventQueue;
+use genie_trace::metrics::Histogram;
+use genie_trace::Tracer;
+
+use crate::faults::FaultState;
+use crate::host::Host;
+use crate::world::{Event, FabricState, OpSlot, World};
+
+/// One epoch's worth of cross-shard events from a single peer.
+type Mail = Vec<(SimTime, u64, u16, Event)>;
+
+/// Moves the owned entries of a per-host table into a fresh vector
+/// (unowned slots get empty maps), leaving empty maps behind in the
+/// source.
+fn take_per_host<T>(src: &mut [DenseMap<T>], sid: usize, n: usize) -> Vec<DenseMap<T>> {
+    (0..src.len())
+        .map(|i| {
+            if lane_shard(i, n) == sid {
+                std::mem::replace(&mut src[i], DenseMap::new())
+            } else {
+                DenseMap::new()
+            }
+        })
+        .collect()
+}
+
+/// The owning shard of a host lane (and of the switch output port
+/// with the same index). Round-robin keeps neighboring lanes apart,
+/// which balances star topologies where low lanes are busiest.
+pub(crate) fn lane_shard(lane: usize, n: usize) -> usize {
+    lane % n
+}
+
+/// Runs `world` to quiescence on `n` worker threads and folds every
+/// shard back into it. On return `world` is indistinguishable from
+/// having run the keyed serial loop.
+pub(crate) fn run_sharded(world: &mut World, n: usize) {
+    debug_assert!(n >= 2, "serial keyed runs bypass the shard module");
+    let lookahead = world.link.fixed_latency.0;
+    assert!(lookahead > 0, "sharded execution needs nonzero lookahead");
+    world.peak_resident = 0;
+
+    let shards = split_shards(world, n);
+
+    // Exchange fabric: one channel per ordered (src, dst) pair so a
+    // mailbox is never reordered against another from the same peer.
+    let mut senders: Vec<Vec<Option<mpsc::Sender<Mail>>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    let mut receivers: Vec<Vec<Option<mpsc::Receiver<Mail>>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    for src in 0..n {
+        for dst in 0..n {
+            if src == dst {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            senders[src][dst] = Some(tx);
+            receivers[dst][src] = Some(rx);
+        }
+    }
+    let mins: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let barrier = Barrier::new(n);
+
+    let worlds: Vec<World> = std::thread::scope(|scope| {
+        let mins = &mins;
+        let barrier = &barrier;
+        let handles: Vec<_> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(sid, mut w)| {
+                let tx_row = std::mem::take(&mut senders[sid]);
+                let rx_row = std::mem::take(&mut receivers[sid]);
+                scope.spawn(move || {
+                    run_shard_worker(&mut w, sid, lookahead, mins, barrier, &tx_row, &rx_row);
+                    w
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    // Completions were recorded per shard with their (time, key); a
+    // stable sort restores the exact order the keyed serial loop
+    // would have produced, appended after any driver-phase entries
+    // already in the parent.
+    let mut sends: Vec<((SimTime, u64), crate::output::SendCompletion)> = Vec::new();
+    let mut recvs: Vec<((SimTime, u64), crate::input::RecvCompletion)> = Vec::new();
+    for (sid, mut shard) in worlds.into_iter().enumerate() {
+        sends.extend(
+            shard
+                .done_send_keys
+                .drain(..)
+                .zip(shard.done_sends.drain(..)),
+        );
+        recvs.extend(
+            shard
+                .done_recv_keys
+                .drain(..)
+                .zip(shard.done_recvs.drain(..)),
+        );
+        absorb_shard(world, shard, sid, n);
+    }
+    sends.sort_by_key(|((t, k), _)| (t.0, *k));
+    recvs.sort_by_key(|((t, k), _)| (t.0, *k));
+    world.done_sends.extend(sends.into_iter().map(|(_, c)| c));
+    world.done_recvs.extend(recvs.into_iter().map(|(_, c)| c));
+
+    world.finish_keyed();
+}
+
+/// The per-thread epoch loop (step 1–3 of the module protocol).
+#[allow(clippy::too_many_arguments)]
+fn run_shard_worker(
+    w: &mut World,
+    sid: usize,
+    lookahead: u64,
+    mins: &[AtomicU64],
+    barrier: &Barrier,
+    tx_row: &[Option<mpsc::Sender<Mail>>],
+    rx_row: &[Option<mpsc::Receiver<Mail>>],
+) {
+    loop {
+        let local_min = w.events.peek_time().map_or(u64::MAX, |t| t.0);
+        mins[sid].store(local_min, Ordering::SeqCst);
+        barrier.wait();
+        let gmin = mins
+            .iter()
+            .map(|m| m.load(Ordering::SeqCst))
+            .min()
+            .expect("at least one shard");
+        if gmin == u64::MAX {
+            break;
+        }
+        let horizon = gmin.saturating_add(lookahead);
+        while let Some(t) = w.events.peek_time() {
+            if t.0 >= horizon {
+                break;
+            }
+            let (time, key, (lane, ev)) = w.events.pop_entry().expect("peeked");
+            w.step_keyed(time, key, lane, ev);
+        }
+        let resident = w.events.len() + w.outbox.iter().map(Vec::len).sum::<usize>();
+        w.peak_resident = w.peak_resident.max(resident);
+        // Exactly one mailbox per peer per epoch, even when empty:
+        // receivers can then block on each peer without polling.
+        for (dst, tx) in tx_row.iter().enumerate() {
+            let Some(tx) = tx else { continue };
+            let mail = std::mem::take(&mut w.outbox[dst]);
+            tx.send(mail).expect("peer shard alive");
+        }
+        // Second barrier: nobody may publish epoch k+1's minimum (or
+        // read epoch k+1 mail) until every shard has flushed epoch k.
+        barrier.wait();
+        for rx in rx_row.iter() {
+            let Some(rx) = rx else { continue };
+            let mail = rx.recv().expect("peer shard alive");
+            for (time, key, lane, ev) in mail {
+                w.events.push_keyed(time, key, (lane, ev));
+            }
+        }
+    }
+}
+
+/// Carves `n` shard worlds out of `parent`, moving each lane's hosts,
+/// queues, live operations, fault streams and switch ports to its
+/// owner. The parent keeps placeholder hosts until [`absorb_shard`]
+/// restores the real ones.
+fn split_shards(parent: &mut World, n: usize) -> Vec<World> {
+    let n_hosts = parent.hosts.len();
+
+    // VC -> destination lane, for routing the oracle's promised-
+    // fingerprint table to the shard that will consult it.
+    let vc_dst: HashMap<u32, usize> = match &parent.fabric {
+        FabricState::Switched(sw) => sw
+            .route_entries()
+            .map(|((_src, vc), dsts)| (vc, usize::from(dsts[0])))
+            .collect(),
+        FabricState::Passthrough => unreachable!("keyed worlds are switched"),
+    };
+    let mut oracles: Vec<Option<Oracle>> = match parent.fault.oracle.take() {
+        Some(mut o) => {
+            let parts = o.split(n, |vc| lane_shard(vc_dst[&vc], n), |h| lane_shard(h, n));
+            parent.fault.oracle = Some(o);
+            parts.into_iter().map(Some).collect()
+        }
+        None => (0..n).map(|_| None).collect(),
+    };
+
+    // Drain live operations from the arena in slot-index order (the
+    // only order that is itself deterministic) and route each to its
+    // owner lane's shard. Every slot is freed exactly once here and
+    // re-inserted at absorb time never — completed ops die in their
+    // shard — so the generation bumps match the serial run and
+    // `canonicalize_free` makes the free list match too.
+    let tokens: Vec<u64> = parent.ops.iter().map(|(k, _)| k).collect();
+    let mut shard_ops: Vec<HashMap<u64, OpSlot>> = (0..n).map(|_| HashMap::new()).collect();
+    for tok in tokens {
+        let slot = parent.ops.remove(tok).expect("live token");
+        let owner = slot
+            .send
+            .as_ref()
+            .map(|s| s.from.idx())
+            .or_else(|| slot.inflight.as_ref().map(|i| i.from.idx()))
+            .unwrap_or(0);
+        shard_ops[lane_shard(owner, n)].insert(tok, slot);
+    }
+
+    // Pending events go to the lane that will handle them; keys were
+    // stamped at push time so heap order is preserved per shard.
+    let mut shard_events: Vec<EventQueue<(u16, Event)>> =
+        (0..n).map(|_| EventQueue::new()).collect();
+    while let Some((time, key, (lane, ev))) = parent.events.pop_entry() {
+        shard_events[lane_shard(usize::from(lane), n)].push_keyed(time, key, (lane, ev));
+    }
+
+    let mut shards = Vec::with_capacity(n);
+    for sid in 0..n {
+        let owned = |i: usize| lane_shard(i, n) == sid;
+        let hosts: Vec<Host> = (0..n_hosts)
+            .map(|i| {
+                if owned(i) {
+                    let machine = parent.hosts[i].machine().clone();
+                    let dummy = Host::new(machine, 1, parent.rx_mode, 0, 0);
+                    std::mem::replace(&mut parent.hosts[i], dummy)
+                } else {
+                    Host::new(parent.hosts[i].machine().clone(), 1, parent.rx_mode, 0, 0)
+                }
+            })
+            .collect();
+        let shard_sw = match &mut parent.fabric {
+            FabricState::Switched(sw) => sw.split_ports(|p| owned(usize::from(p))),
+            FabricState::Passthrough => unreachable!("keyed worlds are switched"),
+        };
+        let fault = FaultState {
+            plan: parent.fault.plan.clone(),
+            stats: FaultStats::default(),
+            oracle: oracles[sid].take(),
+            rx_held: take_per_host(&mut parent.fault.rx_held, sid, n),
+            rx_next_seq: take_per_host(&mut parent.fault.rx_next_seq, sid, n),
+            hoard: (0..n_hosts)
+                .map(|i| {
+                    if owned(i) {
+                        std::mem::take(&mut parent.fault.hoard[i])
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect(),
+            site_names: parent.fault.site_names.clone(),
+            hold_depth: Histogram::new(),
+            lane_plans: (0..n_hosts)
+                .map(|i| {
+                    if owned(i) {
+                        std::mem::replace(
+                            &mut parent.fault.lane_plans[i],
+                            FaultPlan::new(FaultConfig::NONE),
+                        )
+                    } else {
+                        FaultPlan::new(FaultConfig::NONE)
+                    }
+                })
+                .collect(),
+            hold_cap: parent.fault.hold_cap,
+        };
+        shards.push(World {
+            hosts,
+            fabric: FabricState::Switched(shard_sw),
+            link: parent.link.clone(),
+            dma: parent.dma,
+            cfg: parent.cfg,
+            rx_mode: parent.rx_mode,
+            events: std::mem::replace(&mut shard_events[sid], EventQueue::new()),
+            ops: genie_mem::SlotMap::new(),
+            recvs: take_per_host(&mut parent.recvs, sid, n),
+            backlog: take_per_host(&mut parent.backlog, sid, n),
+            done_recvs: Vec::new(),
+            done_sends: Vec::new(),
+            next_token: 1,
+            seq: DenseMap::new(),
+            link_busy_until: parent.link_busy_until.clone(),
+            txq: take_per_host(&mut parent.txq, sid, n),
+            spare_payloads: Vec::new(),
+            scratch_cells: Vec::new(),
+            force_cells: parent.force_cells,
+            fault,
+            wire_tracer: Tracer::new(),
+            vc_latency: std::collections::BTreeMap::new(),
+            crash_dumped: parent.crash_dumped,
+            tracing: parent.tracing,
+            shards: n,
+            shard: Some((sid, n)),
+            current_lane: 0,
+            current_ev: (SimTime::ZERO, 0),
+            lane_seq: parent.lane_seq.clone(),
+            shard_ops: Some(std::mem::take(&mut shard_ops[sid])),
+            done_send_keys: Vec::new(),
+            done_recv_keys: Vec::new(),
+            outbox: (0..n).map(|_| Vec::new()).collect(),
+            peak_resident: 0,
+        });
+    }
+    shards
+}
+
+/// Folds one quiesced shard back into the parent: real hosts, switch
+/// ports, per-lane queues and fault streams return to their slots;
+/// commutative aggregates (stats, histograms, oracle bookkeeping)
+/// merge.
+fn absorb_shard(parent: &mut World, mut shard: World, sid: usize, n: usize) {
+    let n_hosts = parent.hosts.len();
+    for i in 0..n_hosts {
+        if lane_shard(i, n) != sid {
+            continue;
+        }
+        std::mem::swap(&mut parent.hosts[i], &mut shard.hosts[i]);
+        std::mem::swap(&mut parent.recvs[i], &mut shard.recvs[i]);
+        std::mem::swap(&mut parent.backlog[i], &mut shard.backlog[i]);
+        std::mem::swap(&mut parent.txq[i], &mut shard.txq[i]);
+        std::mem::swap(&mut parent.fault.rx_held[i], &mut shard.fault.rx_held[i]);
+        std::mem::swap(
+            &mut parent.fault.rx_next_seq[i],
+            &mut shard.fault.rx_next_seq[i],
+        );
+        std::mem::swap(&mut parent.fault.hoard[i], &mut shard.fault.hoard[i]);
+        std::mem::swap(
+            &mut parent.fault.lane_plans[i],
+            &mut shard.fault.lane_plans[i],
+        );
+        parent.link_busy_until[i] = shard.link_busy_until[i];
+        parent.lane_seq[i] = shard.lane_seq[i];
+    }
+    let shard_fabric = std::mem::replace(
+        &mut shard.fabric,
+        FabricState::Switched(genie_net::Switch::new(&genie_net::SwitchConfig::new(0, 0))),
+    );
+    match (&mut parent.fabric, shard_fabric) {
+        (FabricState::Switched(psw), FabricState::Switched(ssw)) => {
+            psw.absorb(ssw, |p| lane_shard(usize::from(p), n) == sid);
+        }
+        _ => unreachable!("keyed worlds are switched"),
+    }
+    parent.fault.stats.merge(&shard.fault.stats);
+    parent.fault.hold_depth.merge(&shard.fault.hold_depth);
+    if let Some(so) = shard.fault.oracle.take() {
+        parent
+            .fault
+            .oracle
+            .as_mut()
+            .expect("oracle split from parent")
+            .absorb(so);
+    }
+    for (vc, h) in std::mem::take(&mut shard.vc_latency) {
+        parent.vc_latency.entry(vc).or_default().merge(&h);
+    }
+    parent.peak_resident += shard.peak_resident;
+    assert!(
+        shard.shard_ops.as_ref().is_some_and(HashMap::is_empty),
+        "shard {sid} left operations unfinished"
+    );
+}

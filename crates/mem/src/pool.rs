@@ -73,9 +73,50 @@ pub(crate) fn recycle(page: Box<[u8]>, dirty: bool) {
     })
 }
 
+/// Pages currently pooled on this thread, across all size classes.
+pub fn pooled_pages() -> usize {
+    POOL.with(|p| p.borrow().iter().map(|(_, stash)| stash.len()).sum())
+}
+
+/// Trims this thread's pool to at most `keep` pages per size class,
+/// returning the excess storage to the allocator (and shrinking the
+/// stash vectors themselves). Returns the number of pages released.
+/// Long-lived processes call this between large runs so the high-water
+/// mark of one world does not stay resident for the rest of the
+/// process's life.
+pub fn trim(keep: usize) -> usize {
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        let mut freed = 0;
+        for (_, stash) in pool.iter_mut() {
+            if stash.len() > keep {
+                freed += stash.len() - keep;
+                stash.truncate(keep);
+                stash.shrink_to_fit();
+            }
+        }
+        freed
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pool_trim_releases_excess_and_reports_residency() {
+        trim(0);
+        let pages: Vec<_> = (0..8).map(|_| take_zeroed(256)).collect();
+        for p in pages {
+            recycle(p, false);
+        }
+        assert!(pooled_pages() >= 8);
+        let freed = trim(2);
+        assert!(freed >= 6, "freed {freed}");
+        assert!(pooled_pages() <= 2 * 2, "per size class cap");
+        trim(0);
+        assert_eq!(pooled_pages(), 0);
+    }
 
     #[test]
     fn recycled_page_comes_back_zeroed() {

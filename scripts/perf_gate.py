@@ -82,6 +82,52 @@ def main():
         print(f"  {'report_all_wall':<28} {base_wall:>10.1f}ms {fresh_wall:>10.1f}ms "
               f"{delta:>+7.1f}%{'  REGRESSION' if regressed else ''}")
 
+    # Scale-tier gate: any fresh snapshot carrying a "scale" section
+    # (from `report --json fabric --scale`) is checked against the
+    # fabric_scale baseline. The parallel-speedup bound is hard only
+    # when the run had >= 4 shards AND >= 4 cores — on smaller boxes
+    # the honest numbers are printed and the gate skips gracefully.
+    # The wall ceiling applies only at the baseline's datagram count
+    # (CI smoke runs shrink GENIE_SCALE_DATAGRAMS).
+    sbase = base.get("fabric_scale")
+    if sbase:
+        for p in args.fresh + args.reports:
+            scale = load(p).get("scale")
+            if not scale:
+                continue
+            shards = scale.get("shards", 1)
+            cores = scale.get("cores", 1)
+            speedup = scale.get("speedup_vs_serial")
+            print(f"  scale tier [{p}]: {scale.get('datagrams_total', 0):.0f} datagrams, "
+                  f"{shards:.0f} shards on {cores:.0f} cores, "
+                  f"wall {scale.get('wall_total_s', 0):.2f} s")
+            min_speedup = sbase.get("min_speedup_4shard")
+            if speedup is not None:
+                if shards >= 4 and cores >= 4 and min_speedup:
+                    ok = speedup >= min_speedup
+                    if not ok:
+                        fails.append(f"scale speedup: {speedup:.2f}x at {shards:.0f} shards "
+                                     f"< required {min_speedup:.2f}x")
+                    print(f"  {'scale_speedup_4shard':<28} {min_speedup:>11.2f}x "
+                          f"{speedup:>11.2f}x{'' if ok else '  REGRESSION'}")
+                else:
+                    print(f"  scale speedup {speedup:.2f}x recorded, gate skipped "
+                          f"({shards:.0f} shards on {cores:.0f} cores; needs >= 4 of each)")
+            # Wall ceiling: keyed-serial full-size runs only. Sharded
+            # wall is machine-shaped (slower than serial on one core,
+            # faster on many) so an absolute ceiling is meaningless.
+            wall_max = sbase.get("wall_total_s_max")
+            if (wall_max is not None
+                    and shards == 1
+                    and scale.get("datagrams_total") == sbase.get("datagrams_total")
+                    and scale.get("wall_total_s") is not None):
+                w = scale["wall_total_s"]
+                regressed = w > wall_max
+                if regressed:
+                    fails.append(f"scale wall: {w:.2f} s vs ceiling {wall_max:.2f} s")
+                print(f"  {'scale_wall_total':<28} {wall_max:>10.2f}s {w:>10.2f}s"
+                      f"{'  REGRESSION' if regressed else ''}")
+
     pr5 = base.get("pr5_reference", {})
     pr5_ex = pr5.get("exchange_60k_copy_ns")
     ex = fresh_ns.get("exchange_60k_copy", {}).get("min")
