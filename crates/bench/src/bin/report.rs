@@ -253,6 +253,11 @@ fn main() {
         args.remove(i);
         want_scale = true;
     }
+    let mut want_cq = false;
+    if let Some(i) = args.iter().position(|a| a == "--cq") {
+        args.remove(i);
+        want_cq = true;
+    }
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         if i + 1 >= args.len() {
             eprintln!("--threads requires a count");
@@ -275,8 +280,10 @@ fn main() {
     }
     // `--scale` implies `fabric`: it selects the scale tier (the
     // million-datagram 64-host star sweep) instead of the standard
-    // fabric distribution exhibit.
+    // fabric distribution exhibit. `--cq` likewise selects the CQ
+    // saturation sweep.
     want_fabric |= want_scale;
+    want_fabric |= want_cq;
     // `--metrics`/`--trace` with no exhibit names means "just inspect":
     // no exhibits render. Same for a pure `report fabric`.
     let inspect_only = args.is_empty() && (want_metrics || trace_path.is_some() || want_fabric);
@@ -350,9 +357,12 @@ fn main() {
             .max(1);
         gen::fabric_scale_run(shards)
     });
+    let cq_report = want_cq.then(gen::fabric_cq_run);
     if want_fabric {
         if let Some(r) = &scale_report {
             println!("{}", gen::fabric_scale_exhibit(r));
+        } else if let Some(points) = &cq_report {
+            println!("{}", gen::fabric_cq_exhibit(points));
         } else if want_metrics {
             println!("{}", gen::fabric_metrics_report());
         } else {
@@ -432,6 +442,16 @@ fn main() {
                 // `report --json fabric --scale`: the scale tier's
                 // wall clocks and speedup, gated by perf_gate.py.
                 flat(&mut out, "scale", &gen::fabric_scale_json_section(r));
+            }
+            if let Some(points) = &cq_report {
+                // `report --json fabric --cq`: knee depth and knee
+                // stats per semantics, reported informationally by
+                // perf_gate.py.
+                flat(
+                    &mut out,
+                    "cq_saturation",
+                    &gen::fabric_cq_json_section(points),
+                );
             }
         }
         out.push_str("  }\n}\n");

@@ -307,6 +307,94 @@ pub fn fabric_json_sections() -> (FlatRows, FlatRows) {
     (fabric, host)
 }
 
+/// Runs the CQ saturation sweep (`report fabric --cq`): queue depth x
+/// eight semantics on the 8-host star, fixed in-flight window per
+/// client queue pair. Fault-free by default; `GENIE_CQ_FAULT_SEED=<n>`
+/// runs the masked fault plan instead, so the determinism smoke in
+/// `scripts/verify.sh` can byte-compare the faulted table across
+/// thread and shard counts too.
+pub fn fabric_cq_run() -> Vec<genie::CqSaturationPoint> {
+    let mut cfg = genie::CqSuiteConfig::default();
+    if let Some(seed) = std::env::var("GENIE_CQ_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+    {
+        cfg.fault = genie_fault::FaultConfig::masked(seed);
+    }
+    genie::cq_sweep(&cfg)
+}
+
+/// Renders `report fabric --cq`: the per-semantics saturation table
+/// (knee depth plus p50/p99 at the knee) and the goodput-by-depth
+/// matrix. Simulated numbers only, so the text is byte-identical at
+/// any thread or shard count.
+pub fn fabric_cq_exhibit(points: &[genie::CqSaturationPoint]) -> String {
+    let cfg = genie::CqSuiteConfig::default();
+    let mut out = format!(
+        "# CQ saturation: {}-host star, {} clients x {} x {} B requests per depth\n\
+         Campus-span wire ({:.0} us one-way). Submission/completion-queue\n\
+         front-end; each client's queue pair runs a fixed in-flight window\n\
+         equal to the swept depth. The knee is the smallest depth within\n\
+         5% of the sweep's best goodput.\n\n",
+        cfg.clients + 1,
+        cfg.clients,
+        cfg.requests,
+        cfg.bytes,
+        cfg.link_latency_us,
+    );
+    out.push_str(&format!(
+        "{:<18} {:>6} {:>12} {:>12} {:>10} {:>10}\n",
+        "semantics", "knee", "p50_us_knee", "p99_us_knee", "knee_mbps", "best_mbps"
+    ));
+    for p in points {
+        let k = p.knee_point();
+        let best = p.points.iter().map(|d| d.mbps).fold(0.0f64, f64::max);
+        out.push_str(&format!(
+            "{:<18} {:>6} {:>12.1} {:>12.1} {:>10.1} {:>10.1}\n",
+            p.semantics.label(),
+            p.knee,
+            k.dist.p50.as_us(),
+            k.dist.p99.as_us(),
+            k.mbps,
+            best,
+        ));
+    }
+    out.push_str("\n## Goodput (simulated Mbit/s) by queue depth\n");
+    out.push_str(&format!("{:<18}", "semantics"));
+    for d in &cfg.depths {
+        out.push_str(&format!(" {:>9}", format!("d={d}")));
+    }
+    out.push('\n');
+    for p in points {
+        out.push_str(&format!("{:<18}", p.semantics.label()));
+        for d in &p.points {
+            out.push_str(&format!(" {:>9.1}", d.mbps));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Flat `"cq_saturation"` section for `report --json fabric --cq`:
+/// knee depth and knee-point stats per semantics, plus the raw
+/// goodput at every depth. `scripts/perf_gate.py` reports this
+/// section informationally.
+pub fn fabric_cq_json_section(points: &[genie::CqSaturationPoint]) -> FlatRows {
+    let mut rows: FlatRows = Vec::new();
+    for p in points {
+        let label = p.semantics.label();
+        let k = p.knee_point();
+        rows.push((format!("{label}.knee_depth"), p.knee as f64));
+        rows.push((format!("{label}.knee_p50_us"), k.dist.p50.as_us()));
+        rows.push((format!("{label}.knee_p99_us"), k.dist.p99.as_us()));
+        rows.push((format!("{label}.knee_mbps"), k.mbps));
+        for d in &p.points {
+            rows.push((format!("{label}.d{}_mbps", d.depth), d.mbps));
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

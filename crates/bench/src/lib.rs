@@ -12,8 +12,9 @@ pub mod inspect;
 pub mod timing;
 
 pub use fabric::{
-    fabric_exhibit, fabric_json_sections, fabric_metrics_report, fabric_scale_exhibit,
-    fabric_scale_json_section, fabric_scale_run, ScaleReport,
+    fabric_cq_exhibit, fabric_cq_json_section, fabric_cq_run, fabric_exhibit, fabric_json_sections,
+    fabric_metrics_report, fabric_scale_exhibit, fabric_scale_json_section, fabric_scale_run,
+    ScaleReport,
 };
 
 use genie::oplists::{self, OpUse, Scale};

@@ -52,6 +52,7 @@
 
 pub mod align;
 pub mod config;
+pub mod cq;
 pub mod crashdump;
 pub mod error;
 pub mod experiment;
@@ -69,6 +70,10 @@ pub mod world;
 
 pub use align::{plan_aligned_input, PageAction, PagePlan};
 pub use config::{ChecksumMode, GenieConfig};
+pub use cq::{
+    harvest, wait_n, AdaptiveConfig, AdaptiveWindow, CqConfig, CqResult, Cqe, Landing, QueuePair,
+    Sqe, SqeOp,
+};
 pub use error::GenieError;
 pub use experiment::{
     latency_sweep, measure_latency, measure_latency_recorded, measure_latency_traced,
@@ -84,7 +89,8 @@ pub use observe::{ObservableState, RegionObservation};
 pub use output::{OutputRequest, SendCompletion};
 pub use semantics::{Allocation, Integrity, Semantics};
 pub use suites::{
-    cluster_reduce, multicast_stream, rpc_fanin, rpc_fanin_observed, rpc_fanin_observed_with,
-    FabricObservation, SuitePoint, ALL_SEMANTICS,
+    cluster_reduce, cq_fanin_observed, cq_saturation, cq_sweep, multicast_stream, rpc_fanin,
+    rpc_fanin_observed, rpc_fanin_observed_with, CqDepthPoint, CqObservation, CqSaturationPoint,
+    CqSuiteConfig, FabricObservation, SuitePoint, ALL_SEMANTICS,
 };
 pub use world::{Fabric, HostId, World, WorldConfig};

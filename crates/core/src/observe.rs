@@ -289,6 +289,18 @@ impl World {
             }
             r.rollup("vc.", "rollup.vc");
         }
+        // Completion-queue series (recorded by `cq::harvest` while
+        // tracing): ring occupancy and adaptive-window size per host,
+        // rolled up across hosts.
+        if !self.cq_depth.is_empty() {
+            for (host, h) in &self.cq_depth {
+                r.set_histogram(&format!("cq_{host}.depth"), h.clone());
+            }
+            for (host, h) in &self.cq_window {
+                r.set_histogram(&format!("cq_{host}.window"), h.clone());
+            }
+            r.rollup("cq_", "rollup.cq");
+        }
         // Per-host rollup: fabric-scale worlds have too many host_*
         // keys to eyeball; two-host worlds get it for free.
         r.rollup("host_", "rollup.host");

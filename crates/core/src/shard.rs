@@ -324,6 +324,10 @@ fn split_shards(parent: &mut World, n: usize) -> Vec<World> {
             fault,
             wire_tracer: Tracer::new(),
             vc_latency: std::collections::BTreeMap::new(),
+            // Queue-pair harvests run in the driver phase on the
+            // parent world only; shard sub-worlds never sample these.
+            cq_depth: std::collections::BTreeMap::new(),
+            cq_window: std::collections::BTreeMap::new(),
             crash_dumped: parent.crash_dumped,
             tracing: parent.tracing,
             shards: n,

@@ -590,6 +590,393 @@ pub fn multicast_stream(
     }
 }
 
+/// Configuration for the CQ saturation sweep ([`cq_saturation`]).
+#[derive(Clone, Debug)]
+pub struct CqSuiteConfig {
+    /// Client hosts fanning into the hub (the star has `clients + 1`
+    /// ports).
+    pub clients: u16,
+    /// Requests per client.
+    pub requests: usize,
+    /// Payload bytes per request.
+    pub bytes: usize,
+    /// Queue depths to sweep (each is the fixed in-flight window per
+    /// client queue pair).
+    pub depths: Vec<usize>,
+    /// Fault-injection plan (the sweep's simulated numbers must be
+    /// identical with faults on or off only in *shape*, not value —
+    /// but each plan's numbers are thread- and shard-invariant).
+    pub fault: genie_fault::FaultConfig,
+    /// Worker-shard count to pin (0 = environment default).
+    pub shards: usize,
+    /// One-way fixed wire latency in microseconds. The default OC-3c
+    /// figure (12 us) models the paper's lab bench, where seven
+    /// clients at queue depth 1 already cover the round trip and the
+    /// sweep degenerates (the knee is always 1). A campus-span link
+    /// makes the latency x concurrency product real: below the knee
+    /// the hub idles waiting for the next wave, above it the hub's
+    /// per-request service time is the bottleneck.
+    pub link_latency_us: f64,
+}
+
+impl Default for CqSuiteConfig {
+    fn default() -> Self {
+        CqSuiteConfig {
+            clients: 7, // the 8-host star of the scale exhibits
+            requests: 48,
+            // Small requests: per-request fixed latency (DMA setup,
+            // switch hop, dispose) dominates at low depth, so the
+            // goodput-vs-depth curve has a real knee. Large payloads
+            // saturate the hub link at depth 1 and the sweep
+            // degenerates.
+            bytes: 256,
+            depths: vec![1, 2, 4, 8, 16],
+            fault: genie_fault::FaultConfig::NONE,
+            shards: 0,
+            link_latency_us: 800.0,
+        }
+    }
+}
+
+/// One queue-depth point of the saturation sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct CqDepthPoint {
+    /// Fixed in-flight window per client queue pair.
+    pub depth: usize,
+    /// Delivery-latency distribution over every request.
+    pub dist: LatencyDistribution,
+    /// Simulated completion time of the whole exchange, in µs.
+    pub sim_us: f64,
+    /// Delivered goodput in Mbit/s of simulated time.
+    pub mbps: f64,
+}
+
+/// The saturation sweep's result for one semantics: the per-depth
+/// points and the knee — the smallest depth within 5% of the best
+/// goodput. Past the knee, extra queue depth buys only latency.
+#[derive(Clone, Debug)]
+pub struct CqSaturationPoint {
+    /// Data-passing semantics under test.
+    pub semantics: Semantics,
+    /// One entry per swept depth, in sweep order.
+    pub points: Vec<CqDepthPoint>,
+    /// The knee depth.
+    pub knee: usize,
+}
+
+impl CqSaturationPoint {
+    /// The swept point at the knee depth.
+    pub fn knee_point(&self) -> &CqDepthPoint {
+        self.points
+            .iter()
+            .find(|p| p.depth == self.knee)
+            .expect("knee is one of the swept depths")
+    }
+}
+
+/// An observed CQ fan-in run: the depth point plus the flight
+/// recorder's captures (metrics with `cq_*` series and `rollup.cq`
+/// aggregates, and the sampled trace).
+#[derive(Debug)]
+pub struct CqObservation {
+    /// The run result, identical to the unobserved run's.
+    pub point: CqDepthPoint,
+    /// Unified metrics at quiesce (rollups included).
+    pub metrics: genie_trace::metrics::MetricsRegistry,
+    /// The sampled trace, with its dropped-span ledger.
+    pub trace: genie_trace::TraceSet,
+}
+
+/// Packs a (client, request) pair into a `user_data` tag.
+fn cq_tag(client: u16, k: usize) -> u64 {
+    (u64::from(client) << 32) | k as u64
+}
+
+/// Response-pattern stream id for client `i` (disjoint from every
+/// request stream id, which is just `i`).
+fn cq_rsp_stream(i: u16) -> u32 {
+    0x10_000 | u32::from(i)
+}
+
+/// One CQ RPC run at one queue depth: every client stages all its
+/// requests on a queue pair whose fixed in-flight window is `depth`,
+/// the hub preposts matching receives and echoes a response per
+/// request (on the star's reverse route), and the driver loops
+/// submit → run → harvest until both directions drain.
+///
+/// The round trip is what the sweep measures: a client's next submit
+/// happens after `harvest` advanced its clock to the responses it just
+/// observed, so a shallow window leaves the client idle for a full
+/// round trip between waves while a deep one keeps the fabric fed —
+/// goodput climbs with depth until the path saturates. All data is
+/// integrity-spot-checked; the simulated numbers are thread- and
+/// shard-count-invariant.
+fn cq_fanin_world(
+    semantics: Semantics,
+    depth: usize,
+    cfg: &CqSuiteConfig,
+    observe: Option<&genie_trace::SampleConfig>,
+) -> (CqDepthPoint, World) {
+    use crate::cq::{self, CqConfig, Landing, Sqe, SqeOp};
+
+    const VC_BASE: u32 = 700;
+    let (clients, requests, bytes) = (cfg.clients, cfg.requests, cfg.bytes);
+    assert!(clients >= 1 && requests > 0 && depth > 0);
+    let ports = clients + 1;
+    let req_vc = |i: u16| Vc(VC_BASE + u32::from(i));
+    let rsp_vc = |i: u16| Vc(VC_BASE + u32::from(ports) + u32::from(i));
+    let sw = SwitchConfig::star(ports, 0, VC_BASE, 128);
+    let mut wc = WorldConfig::switched(MachineSpec::micron_p166(), usize::from(ports), sw);
+    wc.fault = cfg.fault;
+    wc.link.fixed_latency = SimTime::from_us(cfg.link_latency_us);
+    let mut w = World::new(wc);
+    // Always the keyed engine, never the legacy insertion-ordered
+    // loop: keyed results are byte-identical at every shard count
+    // (serial-of-one included), which is what lets `report fabric
+    // --cq` promise one table across threads and shards with faults
+    // on or off. The legacy loop agrees fault-free but draws fault
+    // randomness in event order, which differs from the keyed loop.
+    let shards = if cfg.shards > 0 {
+        cfg.shards
+    } else {
+        genie_runner::configured_shards().max(1)
+    };
+    w.set_shards(shards);
+    if let Some(sample) = observe {
+        w.enable_tracing(true);
+        w.set_sampling(sample);
+    }
+    let hub = w.create_process(HostId(0));
+    let procs: Vec<SpaceId> = (1..=clients).map(|i| w.create_process(HostId(i))).collect();
+
+    // Queue pair 0 is the hub's; 1..=clients are the clients'. The
+    // sweep's knob is the *client* window; the hub answers unthrottled
+    // (its window only gates sends, sized for every response at once).
+    let total = usize::from(clients) * requests;
+    let mut qps = Vec::with_capacity(usize::from(ports));
+    qps.push(crate::cq::QueuePair::new(
+        HostId(0),
+        semantics,
+        CqConfig {
+            sq_depth: 2 * total + 4,
+            cq_depth: 64,
+            window: crate::cq::AdaptiveConfig::fixed(total),
+        },
+    ));
+    for i in 1..=clients {
+        qps.push(crate::cq::QueuePair::new(
+            HostId(i),
+            semantics,
+            CqConfig {
+                sq_depth: 2 * requests + 4,
+                cq_depth: 64,
+                window: crate::cq::AdaptiveConfig::fixed(depth),
+            },
+        ));
+    }
+
+    // Allocates a receive buffer appropriate for `semantics` at the
+    // circuit's preferred alignment.
+    fn recv_buffer(
+        w: &mut World,
+        host: HostId,
+        space: SpaceId,
+        semantics: Semantics,
+        vc: Vc,
+        bytes: usize,
+    ) -> Option<u64> {
+        match semantics.allocation() {
+            Allocation::Application => {
+                let (off, _gran) = w.preferred_alignment(host, vc);
+                Some(w.alloc_buffer(host, space, bytes, off).expect("recv buf"))
+            }
+            Allocation::System => None,
+        }
+    }
+
+    // Hub preposts every request receive, interleaved across clients
+    // like the fan-in suite; clients prepost every response receive.
+    for k in 0..requests {
+        for i in 1..=clients {
+            let buffer = recv_buffer(&mut w, HostId(0), hub, semantics, req_vc(i), bytes);
+            qps[0]
+                .post(Sqe {
+                    user_data: cq_tag(i, k),
+                    op: SqeOp::PostRecv {
+                        vc: req_vc(i),
+                        space: hub,
+                        buffer,
+                        len: bytes,
+                    },
+                })
+                .expect("hub SQ sized for all preposts");
+            let space = procs[usize::from(i) - 1];
+            let buffer = recv_buffer(&mut w, HostId(i), space, semantics, rsp_vc(i), bytes);
+            qps[usize::from(i)]
+                .post(Sqe {
+                    user_data: cq_tag(i, k),
+                    op: SqeOp::PostRecv {
+                        vc: rsp_vc(i),
+                        space,
+                        buffer,
+                        len: bytes,
+                    },
+                })
+                .expect("client SQ sized for all preposts");
+        }
+    }
+    // Clients stage every request up front; the window meters the wire.
+    for k in 0..requests {
+        for i in 1..=clients {
+            let space = procs[usize::from(i) - 1];
+            let data = pattern(u32::from(i), k, bytes);
+            let src = alloc_filled(&mut w, HostId(i), space, semantics, &data).expect("src");
+            qps[usize::from(i)]
+                .post(Sqe {
+                    user_data: cq_tag(i, k),
+                    op: SqeOp::Send {
+                        vc: req_vc(i),
+                        space,
+                        vaddr: src,
+                        len: bytes,
+                    },
+                })
+                .expect("client SQ sized for all requests");
+        }
+    }
+
+    let mut latencies = Vec::with_capacity(total);
+    let mut recvd = 0usize; // requests delivered at the hub
+    let mut answered = 0usize; // responses delivered at clients
+    let mut client_sent = 0usize;
+    let mut hub_sent = 0usize;
+    while recvd < total || answered < total || client_sent < total || hub_sent < total {
+        let mut progress = 0;
+        for qp in qps.iter_mut() {
+            progress += qp.submit(&mut w);
+        }
+        w.run();
+        progress += cq::harvest(&mut w, &mut qps);
+        while let Some(c) = qps[0].poll() {
+            assert_eq!(c.result, crate::cq::CqResult::Ok);
+            match c.landing {
+                Landing::Delivered { vaddr, latency, .. } => {
+                    assert_eq!(c.len, bytes);
+                    let (i, k) = ((c.user_data >> 32) as u16, c.user_data as u32 as usize);
+                    // Integrity spot check on a deterministic subsample.
+                    if recvd.is_multiple_of(7) {
+                        let want = pattern(u32::from(i), k, bytes);
+                        let ok = w
+                            .app_matches(HostId(0), hub, vaddr, &want)
+                            .expect("delivered buffer readable");
+                        assert!(ok, "client {i} request {k} corrupted");
+                    }
+                    latencies.push(latency);
+                    recvd += 1;
+                    // Echo a response on the reverse route.
+                    let data = pattern(cq_rsp_stream(i), k, bytes);
+                    let src =
+                        alloc_filled(&mut w, HostId(0), hub, semantics, &data).expect("rsp src");
+                    qps[0]
+                        .post(Sqe {
+                            user_data: cq_tag(i, k),
+                            op: SqeOp::Send {
+                                vc: rsp_vc(i),
+                                space: hub,
+                                vaddr: src,
+                                len: bytes,
+                            },
+                        })
+                        .expect("hub SQ sized for all responses");
+                }
+                Landing::Sent { .. } => hub_sent += 1,
+                Landing::None => panic!("unexpected hub completion: {c:?}"),
+            }
+        }
+        for (qi, qp) in qps.iter_mut().enumerate().skip(1) {
+            while let Some(c) = qp.poll() {
+                match c.landing {
+                    Landing::Delivered { vaddr, .. } => {
+                        assert_eq!(c.len, bytes);
+                        let (i, k) = ((c.user_data >> 32) as u16, c.user_data as u32 as usize);
+                        assert_eq!(usize::from(i), qi);
+                        if answered.is_multiple_of(13) {
+                            let want = pattern(cq_rsp_stream(i), k, bytes);
+                            let space = procs[qi - 1];
+                            let ok = w
+                                .app_matches(HostId(i), space, vaddr, &want)
+                                .expect("response readable");
+                            assert!(ok, "response to client {i} request {k} corrupted");
+                        }
+                        answered += 1;
+                    }
+                    Landing::Sent { .. } => client_sent += 1,
+                    Landing::None => panic!("unexpected client completion: {c:?}"),
+                }
+            }
+        }
+        assert!(
+            progress > 0,
+            "cq rpc stalled at {recvd}/{total} requests, {answered}/{total} responses"
+        );
+    }
+    assert_fabric_quiesced(&w);
+    assert_eq!(qps[0].sq_rejects(), 0, "hub SQ was sized for the run");
+    let sim_us = w.now().as_us();
+    let point = CqDepthPoint {
+        depth,
+        dist: LatencyDistribution::from_samples(&latencies).expect("samples"),
+        sim_us,
+        mbps: (total * bytes) as f64 * 8.0 / sim_us,
+    };
+    (point, w)
+}
+
+/// Sweeps queue depth for one semantics and finds the saturation knee:
+/// the smallest depth whose goodput is within 5% of the sweep's best.
+pub fn cq_saturation(semantics: Semantics, cfg: &CqSuiteConfig) -> CqSaturationPoint {
+    let points: Vec<CqDepthPoint> = cfg
+        .depths
+        .iter()
+        .map(|&d| cq_fanin_world(semantics, d, cfg, None).0)
+        .collect();
+    let best = points.iter().map(|p| p.mbps).fold(0.0f64, f64::max);
+    let knee = points
+        .iter()
+        .find(|p| p.mbps >= best * 0.95)
+        .expect("at least one depth swept")
+        .depth;
+    CqSaturationPoint {
+        semantics,
+        points,
+        knee,
+    }
+}
+
+/// [`cq_saturation`] over every semantics, independent worlds sharded
+/// across genie-runner workers (byte-identical at any thread count).
+pub fn cq_sweep(cfg: &CqSuiteConfig) -> Vec<CqSaturationPoint> {
+    genie_runner::map(ALL_SEMANTICS, |&s| cq_saturation(s, cfg))
+}
+
+/// One CQ fan-in run with the flight recorder on: sampled tracing plus
+/// the `cq_*.depth` / `cq_*.window` series and their `rollup.cq`
+/// aggregates. Observation-only: the returned point is byte-identical
+/// to the unobserved run's.
+pub fn cq_fanin_observed(
+    semantics: Semantics,
+    depth: usize,
+    cfg: &CqSuiteConfig,
+    sample: &genie_trace::SampleConfig,
+) -> CqObservation {
+    let (point, mut w) = cq_fanin_world(semantics, depth, cfg, Some(sample));
+    CqObservation {
+        point,
+        metrics: w.metrics(),
+        trace: w.take_trace(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -638,6 +1025,92 @@ mod tests {
         );
         assert!(a.sim_us > 0.0 && a.wall_s > 0.0);
         assert!(a.peak_resident > 0 && a.peak_resident < 10_000);
+    }
+
+    #[test]
+    fn cq_saturation_finds_a_knee() {
+        let cfg = CqSuiteConfig {
+            clients: 3,
+            requests: 4,
+            bytes: 1024,
+            depths: vec![1, 4],
+            ..CqSuiteConfig::default()
+        };
+        let p = cq_saturation(Semantics::EmulatedCopy, &cfg);
+        assert_eq!(p.points.len(), 2);
+        assert!(p.points.iter().all(|d| d.dist.count == 12 && d.mbps > 0.0));
+        assert!(cfg.depths.contains(&p.knee));
+        assert_eq!(p.knee_point().depth, p.knee);
+        // Deeper queues can only help goodput in this fan-in (more
+        // wire overlap per wave).
+        assert!(p.points[1].mbps >= p.points[0].mbps);
+    }
+
+    #[test]
+    fn cq_saturation_is_shard_invariant_with_and_without_faults() {
+        for fault in [
+            genie_fault::FaultConfig::NONE,
+            genie_fault::FaultConfig::masked(11),
+        ] {
+            let run = |shards| {
+                let cfg = CqSuiteConfig {
+                    clients: 3,
+                    requests: 4,
+                    bytes: 1024,
+                    depths: vec![2, 8],
+                    fault,
+                    shards,
+                    link_latency_us: 800.0,
+                };
+                cq_saturation(Semantics::Move, &cfg)
+            };
+            let a = run(1);
+            let b = run(4);
+            let sig = |p: &CqSaturationPoint| {
+                (
+                    p.knee,
+                    p.points
+                        .iter()
+                        .map(|d| (d.dist.p50, d.dist.p99, d.sim_us.to_bits(), d.mbps.to_bits()))
+                        .collect::<Vec<_>>(),
+                )
+            };
+            assert_eq!(
+                sig(&a),
+                sig(&b),
+                "cq saturation results must not depend on shard count (faults: {})",
+                fault.active()
+            );
+        }
+    }
+
+    #[test]
+    fn cq_sweep_is_thread_count_invariant() {
+        let cfg = CqSuiteConfig {
+            clients: 2,
+            requests: 3,
+            bytes: 1024,
+            depths: vec![1, 4],
+            ..CqSuiteConfig::default()
+        };
+        let run = |threads: usize| {
+            genie_runner::set_threads(threads);
+            let out = genie_runner::map(&[Semantics::Copy, Semantics::WeakMove], |&s| {
+                cq_saturation(s, &cfg)
+            });
+            genie_runner::set_threads(0);
+            out.iter()
+                .map(|p| {
+                    (
+                        p.semantics,
+                        p.knee,
+                        p.knee_point().dist.p50,
+                        p.knee_point().dist.p99,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4));
     }
 
     #[test]

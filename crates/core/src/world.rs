@@ -296,6 +296,13 @@ pub struct World {
     /// per-VC rollups. BTreeMap so iteration (and the metrics JSON) is
     /// deterministic.
     pub(crate) vc_latency: std::collections::BTreeMap<u32, genie_trace::metrics::Histogram>,
+    /// Completion-ring occupancy per host, sampled by `cq::harvest`
+    /// while tracing — the raw material for the `cq_*.depth` series
+    /// and `rollup.cq` aggregates.
+    pub(crate) cq_depth: std::collections::BTreeMap<u16, genie_trace::metrics::Histogram>,
+    /// Adaptive in-flight-window size per host, sampled alongside
+    /// `cq_depth`.
+    pub(crate) cq_window: std::collections::BTreeMap<u16, genie_trace::metrics::Histogram>,
     /// Whether a crash dump was already written for this world (one
     /// dump per run: the first violation is the interesting one).
     pub(crate) crash_dumped: bool,
@@ -400,6 +407,8 @@ impl World {
             fault: crate::faults::FaultState::new(cfg.fault, n),
             wire_tracer: genie_trace::Tracer::new(),
             vc_latency: std::collections::BTreeMap::new(),
+            cq_depth: std::collections::BTreeMap::new(),
+            cq_window: std::collections::BTreeMap::new(),
             crash_dumped: false,
             tracing: false,
             shards: if matches!(cfg.fabric, Fabric::Switched(_)) {

@@ -103,6 +103,23 @@ impl FaultConfig {
         }
     }
 
+    /// A latency-spike profile: only the delay faults (PDU propagation
+    /// delay and late transmit-complete interrupts) are enabled, at
+    /// high rates and with a generous budget. Nothing is damaged and
+    /// nothing degrades, so all traffic completes with clean payloads —
+    /// only the completion *times* jitter. The CQ adaptive-window
+    /// property tests use this profile to provoke latency spikes whose
+    /// only legal response is a window contraction.
+    pub fn delay_only(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            pdu_delay_per_mille: 300,
+            completion_delay_per_mille: 300,
+            max_faults: 64,
+            ..FaultConfig::none()
+        }
+    }
+
     /// True if any fault can ever fire under this config.
     pub fn active(&self) -> bool {
         self.target_cell.is_some()
@@ -361,6 +378,31 @@ mod tests {
             cfg.cell_loss_per_mille,
             FaultConfig::swarm(7).cell_loss_per_mille
         );
+    }
+
+    #[test]
+    fn delay_only_profile_never_damages() {
+        let cfg = FaultConfig::delay_only(11);
+        assert!(cfg.active());
+        assert_eq!(cfg.cell_loss_per_mille, 0);
+        assert_eq!(cfg.cell_corrupt_per_mille, 0);
+        assert_eq!(cfg.cell_swap_per_mille, 0);
+        assert_eq!(cfg.credit_starve_per_mille, 0);
+        assert_eq!(cfg.pressure_per_mille, 0);
+        assert_eq!(cfg.degrade_per_mille, 0);
+        let mut p = FaultPlan::new(cfg);
+        let mut delays = 0;
+        for _ in 0..200 {
+            let v = p.wire(8);
+            assert!(v.damage.is_none());
+            if v.extra_delay.is_some() {
+                delays += 1;
+            }
+            if p.completion_delay().is_some() {
+                delays += 1;
+            }
+        }
+        assert!(delays > 0, "delay profile should actually delay something");
     }
 
     #[test]

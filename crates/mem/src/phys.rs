@@ -90,6 +90,18 @@ impl PhysMem {
         self.peak_in_use
     }
 
+    /// Fraction of frames still on the free list, in per-mille (0..=1000).
+    ///
+    /// Integer units keep the value exactly reproducible across platforms;
+    /// callers that throttle on memory pressure (the CQ adaptive window)
+    /// compare against a per-mille threshold instead of a float.
+    pub fn free_per_mille(&self) -> u32 {
+        if self.frames.is_empty() {
+            return 0;
+        }
+        (self.free.len() * 1000 / self.frames.len()) as u32
+    }
+
     /// Allocates a frame (contents undefined — whatever the previous
     /// owner left there, exactly the hazard the paper's zeroing and
     /// deferred deallocation guard against).

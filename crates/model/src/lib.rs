@@ -20,10 +20,16 @@
 //! scenario to a minimal counterexample and emits a replayable `.ops`
 //! file — see `TESTING.md` at the workspace root.
 
+pub mod cq;
 pub mod harness;
 pub mod model;
 pub mod ops;
 pub mod switch;
+
+pub use cq::{
+    check_cq, emit_cq_counterexample, run_cq_scenario, shrink_cq, CqBug, CqDivergence,
+    CqFailureReport, CqOp, CqRunStats, CqScenario,
+};
 
 pub use harness::{
     check, emit_counterexample, run_scenario, seed_is_faulted, shrink, Divergence, FailureReport,

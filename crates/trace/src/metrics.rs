@@ -201,6 +201,16 @@ impl MetricsRegistry {
         self.entries.get(name)
     }
 
+    /// The histogram under `name`, or `None` if absent or a different
+    /// metric type. Tests use this to check rollup identities (a
+    /// rolled-up histogram's count must equal the sum of its members').
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.entries.get(name) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
     /// The counter's value, or 0 if absent or not a counter.
     pub fn counter(&self, name: &str) -> u64 {
         match self.entries.get(name) {

@@ -34,6 +34,10 @@ def main():
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--fresh", nargs="+", required=True)
     ap.add_argument("--reports", nargs="*", default=[])
+    # CQ snapshots are listed separately from --reports because their
+    # total_wall_ms covers only the cq sweep and must not shrink the
+    # report-all wall minimum.
+    ap.add_argument("--cq", nargs="*", default=[])
     ap.add_argument("--tol", type=float, default=25.0)
     ap.add_argument("--write-baseline", action="store_true")
     args = ap.parse_args()
@@ -127,6 +131,35 @@ def main():
                     fails.append(f"scale wall: {w:.2f} s vs ceiling {wall_max:.2f} s")
                 print(f"  {'scale_wall_total':<28} {wall_max:>10.2f}s {w:>10.2f}s"
                       f"{'  REGRESSION' if regressed else ''}")
+
+    # CQ saturation knees: any fresh snapshot carrying a
+    # "cq_saturation" section (from `report --json fabric --cq`) is
+    # compared against the baseline knees informationally. The numbers
+    # are simulated and machine-independent, but a drifted knee is a
+    # semantics-cost change to review, not a perf regression — so it
+    # prints, and never fails the gate.
+    cq_base = base.get("cq_saturation")
+    if cq_base:
+        for p in args.cq + args.fresh + args.reports:
+            cq = load(p).get("cq_saturation")
+            if not cq:
+                continue
+            print(f"  cq saturation knees [{p}] (informational):")
+            print(f"  {'semantics':<28} {'base knee':>10} {'fresh':>10} "
+                  f"{'base mbps':>10} {'fresh':>10}")
+            for sem, bdepth in cq_base.get("knee_depth", {}).items():
+                fdepth = cq.get(f"{sem}.knee_depth")
+                bmbps = cq_base.get("knee_mbps", {}).get(sem)
+                fmbps = cq.get(f"{sem}.knee_mbps")
+                drift = (fdepth is not None and fdepth != bdepth) or (
+                    bmbps is not None and fmbps is not None
+                    and abs(fmbps - bmbps) > 1e-9)
+                print(f"  {sem:<28} {bdepth:>10.0f} "
+                      f"{fdepth if fdepth is not None else float('nan'):>10.0f} "
+                      f"{bmbps:>10.3f} "
+                      f"{fmbps if fmbps is not None else float('nan'):>10.3f}"
+                      f"{'  DRIFT (review; refresh baseline if intended)' if drift else ''}")
+            break
 
     pr5 = base.get("pr5_reference", {})
     pr5_ex = pr5.get("exchange_60k_copy_ns")

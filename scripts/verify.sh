@@ -23,6 +23,13 @@ GENIE_FAULT_SWARM_SEEDS=20 cargo test --release --test fault_swarm -q
 echo "== model-differential smoke (50 seeds, full semantics x architecture grid) =="
 GENIE_MODEL_SEEDS=50 cargo test --release --test model_differential -q
 
+echo "== cq-differential and cq-property smoke (50 seeds each) =="
+GENIE_CQ_MODEL_SEEDS=50 cargo test --release --test cq_differential -q
+GENIE_CQ_PROP_SEEDS=50 cargo test --release --test cq_properties -q
+
+echo "== parallel_fs example smoke (queue-pair API, self-checking) =="
+cargo run --release --example parallel_fs >/dev/null
+
 echo "== report determinism (serial vs 4 threads) =="
 tmp_serial=$(mktemp) && tmp_par=$(mktemp)
 tmp_metrics=$(mktemp) && tmp_trace=$(mktemp)
@@ -31,6 +38,22 @@ trap 'rm -f "$tmp_serial" "$tmp_par" "$tmp_metrics" "$tmp_trace"' EXIT
 ./target/release/report all --threads 4 >"$tmp_par" 2>/dev/null
 cmp "$tmp_serial" "$tmp_par"
 cmp "$tmp_serial" report_output.txt
+
+echo "== cq saturation determinism (threads x shards, faults on and off) =="
+# The CQ sweep reports simulated numbers only, so the rendered table
+# must be byte-identical however the run is parallelized — across
+# sweep threads, across intra-world shards, and with the masked fault
+# plan active.
+tmp_cq=$(mktemp) && tmp_cq2=$(mktemp)
+trap 'rm -f "$tmp_serial" "$tmp_par" "$tmp_metrics" "$tmp_trace" "$tmp_cq" "$tmp_cq2"' EXIT
+./target/release/report fabric --cq --threads 1 >"$tmp_cq" 2>/dev/null
+./target/release/report fabric --cq --threads 4 >"$tmp_cq2" 2>/dev/null
+cmp "$tmp_cq" "$tmp_cq2"
+./target/release/report fabric --cq --shards 4 >"$tmp_cq2" 2>/dev/null
+cmp "$tmp_cq" "$tmp_cq2"
+GENIE_CQ_FAULT_SEED=7 ./target/release/report fabric --cq --shards 1 >"$tmp_cq" 2>/dev/null
+GENIE_CQ_FAULT_SEED=7 ./target/release/report fabric --cq --shards 8 >"$tmp_cq2" 2>/dev/null
+cmp "$tmp_cq" "$tmp_cq2"
 
 echo "== metrics and trace smoke =="
 ./target/release/report --metrics >"$tmp_metrics" 2>/dev/null
@@ -42,7 +65,7 @@ grep -q '"process_name"' "$tmp_trace"
 
 echo "== datapath microbench smoke =="
 tmp_bench=$(mktemp)
-trap 'rm -f "$tmp_serial" "$tmp_par" "$tmp_metrics" "$tmp_trace" "$tmp_bench"' EXIT
+trap 'rm -f "$tmp_serial" "$tmp_par" "$tmp_metrics" "$tmp_trace" "$tmp_cq" "$tmp_cq2" "$tmp_bench"' EXIT
 ./target/release/datapath --quick --out "$tmp_bench" >/dev/null
 grep -q '"datapath_ns"' "$tmp_bench"
 grep -q '"crc32_60k"' "$tmp_bench"
@@ -54,7 +77,7 @@ echo "== simulated-latency golden guard (report --json vs committed golden) =="
 # they vary by machine, which is why BENCH_report.json itself is not
 # committed).
 tmp_json_dir=$(mktemp -d)
-trap 'rm -f "$tmp_serial" "$tmp_par" "$tmp_metrics" "$tmp_trace" "$tmp_bench"; rm -rf "$tmp_json_dir"' EXIT
+trap 'rm -f "$tmp_serial" "$tmp_par" "$tmp_metrics" "$tmp_trace" "$tmp_cq" "$tmp_cq2" "$tmp_bench"; rm -rf "$tmp_json_dir"' EXIT
 (cd "$tmp_json_dir" && "$OLDPWD/target/release/report" --json all --threads 1 >/dev/null 2>&1)
 for section in fault_stats simulated_latency_60kb_us; do
   sed -n "/\"$section\"/,/}/p" "$tmp_json_dir/BENCH_report.json" >"$tmp_json_dir/got"
@@ -76,7 +99,7 @@ if [ "${GENIE_BENCH_TOL:-25}" = "skip" ]; then
   echo "perf gate skipped (GENIE_BENCH_TOL=skip)"
 else
   perf_dir=$(mktemp -d)
-  trap 'rm -f "$tmp_serial" "$tmp_par" "$tmp_metrics" "$tmp_trace" "$tmp_bench"; rm -rf "$tmp_json_dir" "$perf_dir"' EXIT
+  trap 'rm -f "$tmp_serial" "$tmp_par" "$tmp_metrics" "$tmp_trace" "$tmp_cq" "$tmp_cq2" "$tmp_bench"; rm -rf "$tmp_json_dir" "$perf_dir"' EXIT
   for i in 1 2 3; do
     (cd "$perf_dir" && "$OLDPWD/target/release/report" --json all --threads 1 >/dev/null 2>&1)
     cp "$perf_dir/BENCH_report.json" "$perf_dir/run$i.json"
@@ -85,8 +108,13 @@ else
   # load spike during one run cannot fake a regression.
   ./target/release/datapath --out "$perf_dir/dp1.json" >/dev/null
   ./target/release/datapath --out "$perf_dir/dp2.json" >/dev/null
+  # One CQ saturation snapshot rides along informationally: the gate
+  # prints knee drift against the baseline but never fails on it.
+  (cd "$perf_dir" && "$OLDPWD/target/release/report" --json fabric --cq --threads 1 >/dev/null 2>&1)
+  cp "$perf_dir/BENCH_report.json" "$perf_dir/cq.json"
   python3 scripts/perf_gate.py --baseline BENCH_baseline.json \
     --fresh "$perf_dir"/dp?.json --reports "$perf_dir"/run?.json \
+    --cq "$perf_dir/cq.json" \
     --tol "${GENIE_BENCH_TOL:-25}"
 fi
 
@@ -98,7 +126,7 @@ echo "== sampled-tracing overhead smoke (budgeted flight recorder vs untraced) =
 # untraced runs. Wall time, so the minimum of two runs absorbs load
 # spikes the same way the perf gate does.
 smoke_dir=$(mktemp -d)
-trap 'rm -f "$tmp_serial" "$tmp_par" "$tmp_metrics" "$tmp_trace" "$tmp_bench"; rm -rf "$tmp_json_dir" "$smoke_dir"' EXIT
+trap 'rm -f "$tmp_serial" "$tmp_par" "$tmp_metrics" "$tmp_trace" "$tmp_cq" "$tmp_cq2" "$tmp_bench"; rm -rf "$tmp_json_dir" "$smoke_dir"' EXIT
 run_ms() { # run_ms OUT_FILE CMD... -> wall ms on stdout
   local out=$1 t0 t1
   shift

@@ -75,6 +75,109 @@ fn budget_bounded_fanin_reports_port_and_vc_rollups() {
     );
 }
 
+#[test]
+fn budgeted_cq_run_reports_depth_and_window_rollups() {
+    let sample = SampleConfig {
+        rate: 4,
+        budget: BUDGET,
+        seed: 11,
+    };
+    let cfg = genie::CqSuiteConfig::default();
+    let o = genie::cq_fanin_observed(Semantics::EmulatedCopy, 4, &cfg, &sample);
+
+    // The observed run did the real exchange: every request delivered
+    // at the requested window.
+    assert_eq!(o.point.depth, 4);
+    assert!(o.point.mbps > 0.0, "no goodput recorded");
+    assert_eq!(
+        o.point.dist.count as usize,
+        usize::from(cfg.clients) * cfg.requests,
+        "observed run lost deliveries"
+    );
+
+    // Memory bound: sampled tracing over the CQ run stays within the
+    // per-owner ring budget, and the sampler did real dropping.
+    for (owner, events) in &o.trace.owners {
+        assert!(
+            events.len() <= BUDGET,
+            "{owner}: {} events exceed the {BUDGET}-event budget",
+            events.len()
+        );
+    }
+    assert!(
+        o.trace.dropped_spans_total() > 0,
+        "1-in-4 sampling under CQ load must drop spans"
+    );
+
+    // Every queue pair (hub on host 0, clients on 1..=7) recorded a
+    // harvest-time depth and window series, and the rollup histograms
+    // merge them exactly: the rolled-up sample count equals the sum of
+    // the per-host counts, with no samples invented or lost.
+    let hosts = 0..=u64::from(cfg.clients);
+    let mut depth_count = 0;
+    let mut window_count = 0;
+    for h in hosts.clone() {
+        let d = o
+            .metrics
+            .histogram(&format!("cq_{h}.depth"))
+            .unwrap_or_else(|| panic!("cq_{h}.depth series missing"));
+        assert!(d.count() > 0, "cq_{h}.depth recorded no samples");
+        depth_count += d.count();
+        let w = o
+            .metrics
+            .histogram(&format!("cq_{h}.window"))
+            .unwrap_or_else(|| panic!("cq_{h}.window series missing"));
+        assert_eq!(
+            w.count(),
+            d.count(),
+            "cq_{h}: window and depth are sampled together"
+        );
+        window_count += w.count();
+    }
+    let rolled_depth = o
+        .metrics
+        .histogram("rollup.cq.depth")
+        .expect("rollup.cq.depth missing");
+    assert_eq!(
+        rolled_depth.count(),
+        depth_count,
+        "cq depth rollup must sum the per-host series exactly"
+    );
+    let rolled_window = o
+        .metrics
+        .histogram("rollup.cq.window")
+        .expect("rollup.cq.window missing");
+    assert_eq!(rolled_window.count(), window_count);
+    assert_eq!(
+        o.metrics.counter("rollup.cq.members"),
+        u64::from(cfg.clients) + 1,
+        "every queue-pair host contributes to the rollup"
+    );
+    // The client windows are fixed at the swept depth, so no sampled
+    // window can exceed it (the hub's response window is sized to
+    // cover every client, so it bounds the rollup max instead).
+    assert!(
+        rolled_window.max() >= rolled_depth.max(),
+        "window samples bound the in-flight depth samples"
+    );
+
+    // Observation-only: a different sampling plan (different seed,
+    // rate, and budget) must reproduce the identical simulated point.
+    let o2 = genie::cq_fanin_observed(
+        Semantics::EmulatedCopy,
+        4,
+        &cfg,
+        &SampleConfig {
+            rate: 64,
+            budget: 32,
+            seed: 3,
+        },
+    );
+    assert_eq!(o.point.sim_us, o2.point.sim_us, "sampling moved sim time");
+    assert_eq!(o.point.mbps, o2.point.mbps, "sampling moved goodput");
+    assert_eq!(o.point.dist.p99, o2.point.dist.p99);
+}
+
 /// One deterministic strong-integrity exchange whose promised payload
 /// fingerprint is overwritten with a bogus value, so the oracle must
 /// flag the delivery. Returns the violations.
